@@ -1,0 +1,59 @@
+"""Extension bench — calibrating the trigger classifier's posteriors.
+
+Naive Bayes posteriors are overconfident (the threshold bench shows
+scores piled at 0 and 1).  This bench Platt-scales the M&A classifier
+on half of the test set and measures Brier score and expected
+calibration error on the other half: the calibrated confidence column
+an analyst sees should mean what it says.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.templates import MERGERS_ACQUISITIONS
+from repro.ml.calibration import (
+    PlattScaler,
+    brier_score,
+    expected_calibration_error,
+    reliability_bins,
+)
+
+
+def bench_platt_calibration(benchmark, paper_dataset):
+    etap = paper_dataset.etap
+    labels = paper_dataset.test_labels[MERGERS_ACQUISITIONS]
+    scores = etap.classifiers[MERGERS_ACQUISITIONS].score(
+        paper_dataset.test_items
+    )
+    rng = np.random.default_rng(12)
+    order = rng.permutation(len(labels))
+    half = len(order) // 2
+    fit_idx, eval_idx = order[:half], order[half:]
+
+    def run():
+        scaler = PlattScaler().fit(scores[fit_idx], labels[fit_idx])
+        return scaler.transform(scores[eval_idx])
+
+    calibrated = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    raw_eval = scores[eval_idx]
+    y_eval = labels[eval_idx]
+    raw_brier = brier_score(y_eval, raw_eval)
+    cal_brier = brier_score(y_eval, calibrated)
+    raw_ece = expected_calibration_error(y_eval, raw_eval)
+    cal_ece = expected_calibration_error(y_eval, calibrated)
+
+    print(f"\n{'':12s} {'Brier':>8s} {'ECE':>8s}")
+    print(f"{'raw NB':12s} {raw_brier:8.4f} {raw_ece:8.4f}")
+    print(f"{'calibrated':12s} {cal_brier:8.4f} {cal_ece:8.4f}")
+    print("\nreliability (calibrated):")
+    for bin_ in reliability_bins(y_eval, calibrated, n_bins=5):
+        print(f"  [{bin_.lower:.1f},{bin_.upper:.1f}) "
+              f"pred={bin_.mean_predicted:.3f} "
+              f"obs={bin_.observed_rate:.3f} n={bin_.count}")
+
+    assert cal_ece <= raw_ece + 0.02
+    assert cal_brier <= raw_brier + 0.01
+    benchmark.extra_info["raw_ece"] = round(raw_ece, 4)
+    benchmark.extra_info["calibrated_ece"] = round(cal_ece, 4)

@@ -1,0 +1,46 @@
+"""Equation 2 — company-level MRR aggregation across all sales drivers.
+
+    MRR(c) = sum_i sum_j 1/rank(te_j(c, sd_i)) / sum_i |TE(c, sd_i)|
+
+The bench times the end-to-end company report (extract all drivers,
+rank, aggregate) and checks Equation 2's arithmetic on the output plus
+the ordering invariant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.evaluation.experiments import run_company_ranking
+
+
+def bench_company_mrr(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        run_company_ranking, kwargs={"dataset": medium_dataset},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render(limit=10))
+
+    scores = result.scores
+    assert scores
+    mrrs = [s.mrr for s in scores]
+    assert mrrs == sorted(mrrs, reverse=True)
+    assert all(0 < s.mrr <= 1 for s in scores)
+
+    # Re-derive Equation 2 by hand from the ranked event lists and
+    # compare against the reported values.
+    events = medium_dataset.etap.extract_trigger_events()
+    reciprocal = defaultdict(float)
+    counts = defaultdict(int)
+    for driver_events in events.values():
+        for event in driver_events:
+            for company in event.companies:
+                reciprocal[company] += 1.0 / event.rank
+                counts[company] += 1
+    for score in scores:
+        expected = reciprocal[score.company] / counts[score.company]
+        assert score.mrr == pytest.approx(expected)
+        assert score.n_trigger_events == counts[score.company]
+    benchmark.extra_info["n_companies"] = len(scores)

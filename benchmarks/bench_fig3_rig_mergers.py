@@ -1,0 +1,27 @@
+"""Figure 3 — PA vs IV relative information gain, mergers & acquisitions.
+
+The paper's reading of the figure (section 3.2.2):
+
+1. verbs, adverbs, nouns and adjectives should NOT be abstracted
+   (RIG of the instance-valued representation is much higher);
+2. entities such as PLC and ORG SHOULD be abstracted (presence-absence
+   carries at least as much information as the instance values).
+
+The bench times the full RIG analysis over the positive/negative classes
+and prints the log-scale bar chart analogous to the paper's figure.
+"""
+
+from __future__ import annotations
+
+from corpus_shape import assert_rig_shape
+
+from repro.evaluation.experiments import run_figure3
+
+
+def bench_figure3_rig(benchmark, paper_dataset):
+    result = benchmark.pedantic(
+        run_figure3, kwargs={"dataset": paper_dataset},
+        rounds=3, iterations=1,
+    )
+    print("\n" + result.render())
+    assert_rig_shape(result)

@@ -1,0 +1,20 @@
+"""Figure 4 — PA vs IV relative information gain, change in management.
+
+Same analysis as Figure 3 over the change-in-management classes; the
+paper's conclusions (entities -> PA, open-class POS -> IV) must hold.
+"""
+
+from __future__ import annotations
+
+from corpus_shape import assert_rig_shape
+
+from repro.evaluation.experiments import run_figure4
+
+
+def bench_figure4_rig(benchmark, paper_dataset):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"dataset": paper_dataset},
+        rounds=3, iterations=1,
+    )
+    print("\n" + result.render())
+    assert_rig_shape(result)

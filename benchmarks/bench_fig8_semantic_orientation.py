@@ -1,0 +1,39 @@
+"""Figure 8 — revenue-growth trigger events ranked by semantic
+orientation.
+
+Section 4: phrases conveying a stronger sense ('sharp decline', 'worst
+losses') outweigh plain sentiment words ('loss', 'profit').  The bench
+times extraction + orientation re-ranking and checks that the ordering
+follows orientation magnitude and that strong-phrase snippets outrank
+weak-phrase snippets.
+"""
+
+from __future__ import annotations
+
+from repro.core.lexicon import revenue_growth_lexicon
+from repro.evaluation.experiments import run_figure8
+
+
+def bench_figure8_orientation(benchmark, medium_dataset):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"dataset": medium_dataset},
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render(limit=10))
+
+    events = result.events
+    assert events
+    magnitudes = [abs(e.score) for e in events]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+
+    # Strong phrases dominate the top of the ranking.
+    lexicon = revenue_growth_lexicon()
+    strong = {p for p, w in lexicon.weights.items() if abs(w) >= 2}
+    top = events[: max(len(events) // 4, 1)]
+    with_strong = sum(
+        any(phrase in e.text.lower() for phrase in strong) for e in top
+    )
+    print(f"\ntop-quartile events containing a strong phrase: "
+          f"{with_strong}/{len(top)}")
+    assert with_strong / len(top) >= 0.5
+    benchmark.extra_info["n_events"] = len(events)

@@ -1,0 +1,53 @@
+"""Table 1 — precision / recall / F1 per sales driver.
+
+Paper (naive Bayes, two denoising iterations):
+
+    Mergers & acquisitions   P=0.744  R=0.806  F1=0.773
+    Change in management     P=0.656  R=0.786  F1=0.715
+
+The bench times the classification of the full common test set (72 M&A
+positives, 56 CiM positives, 2265 negatives) and prints the regenerated
+table next to the paper's numbers.  Absolute values differ (synthetic
+corpus); the asserted *shape*: both drivers land well above the trivial
+baseline, in the paper's band, and M&A precision exceeds change in
+management (whose misleading biography snippets cost precision,
+section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+    REVENUE_GROWTH,
+)
+from repro.evaluation.experiments import run_table1
+
+
+def bench_table1(benchmark, paper_dataset):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={
+            "dataset": paper_dataset,
+            "drivers": (
+                MERGERS_ACQUISITIONS,
+                CHANGE_IN_MANAGEMENT,
+                REVENUE_GROWTH,
+            ),
+        },
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + result.render())
+
+    ma = next(r for r in result.rows if r.driver_id == MERGERS_ACQUISITIONS)
+    cim = next(
+        r for r in result.rows if r.driver_id == CHANGE_IN_MANAGEMENT
+    )
+    # Shape assertions mirroring the paper's findings.
+    assert ma.f1 >= 0.6
+    assert cim.f1 >= 0.55
+    assert ma.precision > cim.precision  # biography confusers hit CiM
+    assert ma.recall >= 0.75 and cim.recall >= 0.75
+    benchmark.extra_info["ma_f1"] = round(ma.f1, 3)
+    benchmark.extra_info["cim_f1"] = round(cim.f1, 3)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+``paper_dataset`` is the full section 5.1 setup (3000-document web,
+72/56/2265 test counts) used by the headline benches (Table 1, Figures
+3-6).  ``medium_dataset`` is a lighter corpus used by the whole-pipeline
+extraction benches (Figures 7-8, company MRR) and the ablations, where
+the experiment is re-run across many configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.etap import EtapConfig
+from repro.evaluation.datasets import DatasetSpec, build_evaluation_dataset
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    dataset = build_evaluation_dataset(DatasetSpec())
+    dataset.etap.train(pure_positive=dataset.pure_positive)
+    return dataset
+
+
+MEDIUM_SPEC = DatasetSpec(
+    n_web_docs=1200,
+    n_pure_positive=25,
+    n_test_positive_ma=40,
+    n_test_positive_cim=35,
+    n_test_positive_rg=35,
+    n_test_negative=900,
+    config=EtapConfig(top_k_per_query=100, negative_sample_size=2500),
+)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    dataset = build_evaluation_dataset(MEDIUM_SPEC)
+    dataset.etap.train(pure_positive=dataset.pure_positive)
+    return dataset

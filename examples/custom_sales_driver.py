@@ -1,0 +1,85 @@
+"""Defining a new sales driver without hand-labeled data.
+
+Section 3.3.1: "one may want to introduce new categories of sales
+drivers quite frequently and hand-labeling to produce training data for
+new categories can be very tedious" — which is exactly what the smart-
+query + filter recipe solves.  This script defines a brand-new driver,
+*executive departures* (a CRM team may treat departures differently
+from appointments), from nothing but five phrase queries and a snippet
+filter, and trains it with zero manual labels.
+
+Run:  python examples/custom_sales_driver.py
+"""
+
+from __future__ import annotations
+
+from repro import Etap, EtapConfig, build_web
+from repro.core.drivers import (
+    SalesDriver,
+    all_of,
+    any_of,
+    has,
+    has_keyword,
+)
+
+EXECUTIVE_DEPARTURES = SalesDriver(
+    driver_id="executive_departures",
+    name="Executive departures",
+    description=(
+        "Resignations and retirements of senior executives; the "
+        "successor often reviews supplier contracts."
+    ),
+    smart_queries=(
+        '"stepped down"',
+        '"announced his resignation"',
+        '"announced her resignation"',
+        '"search for a successor"',
+        '"retired after"',
+    ),
+    snippet_filter=all_of(
+        has("DESIG"),
+        any_of(has("PRSN"), has("ORG")),
+        has_keyword(
+            "resign", "stepped down", "step down", "retire",
+            "departed", "ousted", "successor",
+        ),
+    ),
+)
+
+
+def main() -> None:
+    web = build_web(1500)
+    etap = Etap.from_web(
+        web,
+        drivers=[EXECUTIVE_DEPARTURES],
+        config=EtapConfig(top_k_per_query=100, negative_sample_size=2500),
+    )
+    etap.gather()
+
+    summaries = etap.train()
+    summary = summaries["executive_departures"]
+    report = etap.noisy_reports["executive_departures"]
+    print("Training data generated automatically:")
+    print(f"  documents hit by smart queries : {report.documents_hit}")
+    print(f"  snippets passing the filter    : {report.snippets_kept}")
+    print(f"  after iterative denoising      : {summary.n_noisy_kept}")
+    print(f"  model features                 : {summary.n_features}")
+
+    events = etap.extract_trigger_events()["executive_departures"]
+    print(f"\nTop executive-departure trigger events "
+          f"({len(events)} total):")
+    for event in events[:6]:
+        print(f"  [{event.score:.3f}] {event.text[:95]}")
+
+    departure_words = ("resign", "stepped down", "retire", "successor",
+                       "ousted", "departed")
+    on_topic = sum(
+        any(word in event.text.lower() for word in departure_words)
+        for event in events
+    )
+    print(f"\n{on_topic}/{len(events)} extracted events mention a "
+          f"departure term.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Merger watch: a B2B sales team monitoring M&A activity.
+
+Scenario (the paper's introduction): mergers & acquisitions drive IT
+purchases — merged companies integrate their IT systems.  This script
+runs only the M&A driver, applies the recency adjustment from section
+5.2 so historical deal mentions don't pollute the lead list, and prints
+a per-company digest a sales representative could act on.
+
+Run:  python examples/merger_watch.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import Etap, EtapConfig, build_web
+from repro.core.drivers import get_driver
+from repro.core.ranking import RecencyAdjustedRanker
+from repro.corpus.templates import MERGERS_ACQUISITIONS
+
+REFERENCE_YEAR = 2006  # "today" for recency scoring
+
+
+def main() -> None:
+    web = build_web(1500)
+    etap = Etap.from_web(
+        web,
+        drivers=[get_driver(MERGERS_ACQUISITIONS)],
+        config=EtapConfig(top_k_per_query=100, negative_sample_size=2500),
+    )
+    etap.gather()
+    etap.train()
+
+    events = etap.extract_trigger_events()[MERGERS_ACQUISITIONS]
+    print(f"{len(events)} raw M&A trigger events extracted.\n")
+
+    adjusted = RecencyAdjustedRanker(REFERENCE_YEAR).rank(events)
+
+    demoted = sum(
+        1
+        for before, after in zip(
+            sorted(events, key=lambda e: e.snippet_id),
+            sorted(adjusted, key=lambda e: e.snippet_id),
+        )
+        if after.score < before.score * 0.9
+    )
+    print(f"Recency adjustment demoted {demoted} stale mentions "
+          f"(historical deals, retrospectives).\n")
+
+    print("Freshest M&A trigger events:")
+    for event in adjusted[:5]:
+        companies = ", ".join(event.companies) or "(no ORG found)"
+        print(f"  [{event.score:.3f}] {companies}")
+        print(f"      {event.text[:100]}")
+
+    by_company: dict[str, list] = defaultdict(list)
+    for event in adjusted:
+        for company in event.companies:
+            by_company[company].append(event)
+
+    print("\nPer-company digest (top 5 by event count):")
+    busiest = sorted(
+        by_company.items(), key=lambda kv: -len(kv[1])
+    )[:5]
+    for company, company_events in busiest:
+        best = max(company_events, key=lambda e: e.score)
+        print(f"  {company}: {len(company_events)} events, "
+              f"best score {best.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Revenue-growth screening with semantic orientation (Figure 8).
+
+Section 4: for the revenue-growth driver ETAP ranks trigger events by
+the semantic orientation of their phrases — 'sharp decline' and 'record
+profits' are both strong sales signals; a bare 'profit' is weak.  This
+script reproduces that ranking with the hand-built lexicon, then shows
+the Turney-style PMI-IR alternative: inducing phrase orientations from
+the corpus itself using only seed words.
+
+Run:  python examples/revenue_growth_screening.py
+"""
+
+from __future__ import annotations
+
+from repro import Etap, EtapConfig, build_web
+from repro.core.drivers import get_driver
+from repro.core.lexicon import induce_lexicon, revenue_growth_lexicon
+from repro.core.ranking import SemanticOrientationRanker
+from repro.corpus.templates import REVENUE_GROWTH
+
+
+def main() -> None:
+    web = build_web(1500)
+    etap = Etap.from_web(
+        web,
+        drivers=[get_driver(REVENUE_GROWTH)],
+        config=EtapConfig(top_k_per_query=100, negative_sample_size=2500),
+    )
+    etap.gather()
+    etap.train()
+
+    events = etap.extract_trigger_events()[REVENUE_GROWTH]
+    print(f"{len(events)} revenue-growth trigger events extracted.\n")
+
+    print("=== Figure 8: ranked by hand-built orientation lexicon ===")
+    manual = etap.rank_by_semantic_orientation(events)
+    for event in manual[:6]:
+        sign = "+" if event.score >= 0 else "-"
+        print(f"  #{event.rank:<3d} [{sign}{abs(event.score):.1f}] "
+              f"{event.text[:90]}")
+
+    print("\n=== PMI-IR induced lexicon (Turney [14]) ===")
+    candidates = [
+        "significant growth", "solid quarter", "record profits",
+        "strong performance", "robust demand", "severe losses",
+        "sharp decline", "weak demand", "disappointing results",
+        "stellar results",
+    ]
+    induced = induce_lexicon(
+        etap.engine,
+        candidates,
+        positive_seeds=["growth", "profit", "gains"],
+        negative_seeds=["losses", "decline", "drop"],
+    )
+    print("Induced phrase orientations:")
+    for phrase in candidates:
+        if phrase in induced.weights:
+            print(f"  {phrase:24s} {induced.weights[phrase]:+.2f}")
+
+    agreements = 0
+    comparable = 0
+    manual_lexicon = revenue_growth_lexicon()
+    for phrase, weight in induced.weights.items():
+        if phrase in manual_lexicon.weights:
+            comparable += 1
+            if (weight >= 0) == (manual_lexicon.weights[phrase] >= 0):
+                agreements += 1
+    print(f"\nSign agreement with the hand-built lexicon: "
+          f"{agreements}/{comparable}")
+
+    print("\n=== Ranking with the induced lexicon ===")
+    induced_ranker = SemanticOrientationRanker(induced)
+    for event in induced_ranker.rank(events)[:5]:
+        print(f"  #{event.rank:<3d} [{event.score:+.2f}] "
+              f"{event.text[:90]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments whose setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline).  `pip install -e .`
+falls back to this via `python setup.py develop`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of *Automatic Sales Lead Generation from Web
+Data* (Ramakrishnan et al., ICDE 2006): the ETAP trigger-event pipeline
+plus every substrate it depends on, built from scratch.
+
+Quick start::
+
+    from repro import Etap, build_web
+
+    etap = Etap.from_web(build_web(2000))
+    etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    leads = etap.company_report(events)
+"""
+
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.web import build_web
+
+__version__ = "1.0.0"
+
+__all__ = ["Etap", "EtapConfig", "build_web", "__version__"]

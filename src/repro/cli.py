@@ -1,0 +1,294 @@
+"""Command-line interface: the ETAP pipeline as a workspace tool.
+
+A *workspace* directory holds the gathered document collection
+(``store.jsonl``) and the trained per-driver classifiers
+(``models/*.classifier.json``), so each stage can run as a separate
+process::
+
+    python -m repro gather  --workspace ws --docs 1500
+    python -m repro train   --workspace ws
+    python -m repro extract --workspace ws --top 10
+    python -m repro report  --workspace ws
+
+``python -m repro demo`` runs everything in one go on a small corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.drivers import builtin_drivers
+from repro.core.etap import Etap, EtapConfig
+from repro.core.persistence import load_classifiers, save_classifiers
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.evaluation.reporting import ascii_table, format_float
+from repro.gather.store import DocumentStore
+from repro.search.engine import SearchEngine
+
+STORE_FILE = "store.jsonl"
+INDEX_FILE = "index.json"
+MODELS_DIR = "models"
+
+
+def _workspace(path: str) -> Path:
+    workspace = Path(path)
+    workspace.mkdir(parents=True, exist_ok=True)
+    return workspace
+
+
+def _load_etap(workspace: Path, config: EtapConfig) -> Etap:
+    """Rebuild an Etap from a workspace: store + (cached) index."""
+    store_path = workspace / STORE_FILE
+    if not store_path.exists():
+        raise SystemExit(
+            f"no gathered collection at {store_path}; run "
+            f"`repro gather` first"
+        )
+    store = DocumentStore.load_jsonl(store_path)
+    index_path = workspace / INDEX_FILE
+    if index_path.exists():
+        from repro.search.index import InvertedIndex
+
+        engine = SearchEngine(index=InvertedIndex.load_json(index_path))
+    else:
+        engine = SearchEngine()
+        for document in store:
+            engine.add_document(
+                document.doc_id, document.text, document.title
+            )
+    return Etap(store=store, engine=engine, config=config)
+
+
+def _config_from_args(args: argparse.Namespace) -> EtapConfig:
+    return EtapConfig(
+        top_k_per_query=getattr(args, "top_k", 200),
+        negative_sample_size=getattr(args, "negatives", 6000),
+    )
+
+
+# -- subcommands --------------------------------------------------------------
+
+def cmd_gather(args: argparse.Namespace) -> int:
+    workspace = _workspace(args.workspace)
+    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    etap = Etap.from_web(web)
+    report = etap.gather()
+    etap.store.save_jsonl(workspace / STORE_FILE)
+    etap.engine.index.save_json(workspace / INDEX_FILE)
+    print(f"gathered {report.documents_stored} documents "
+          f"({report.pages_fetched} pages) -> "
+          f"{workspace / STORE_FILE}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    workspace = _workspace(args.workspace)
+    etap = _load_etap(workspace, _config_from_args(args))
+    summaries = etap.train()
+    paths = save_classifiers(etap.classifiers, workspace / MODELS_DIR)
+    rows = [
+        [
+            summary.driver_id,
+            summary.n_noisy_positive,
+            summary.n_noisy_kept,
+            summary.n_negative,
+            summary.n_features,
+        ]
+        for summary in summaries.values()
+    ]
+    print(ascii_table(
+        ["Driver", "Noisy+", "Kept", "Negatives", "Features"], rows
+    ))
+    print(f"saved {len(paths)} classifiers -> {workspace / MODELS_DIR}")
+    return 0
+
+
+def _load_trained_etap(args: argparse.Namespace) -> Etap:
+    workspace = _workspace(args.workspace)
+    etap = _load_etap(workspace, _config_from_args(args))
+    classifiers = load_classifiers(workspace / MODELS_DIR)
+    if not classifiers:
+        raise SystemExit(
+            f"no trained classifiers in {workspace / MODELS_DIR}; run "
+            f"`repro train` first"
+        )
+    etap.classifiers = classifiers
+    return etap
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    etap = _load_trained_etap(args)
+    events = etap.extract_trigger_events(threshold=args.threshold)
+    driver_ids = (
+        [args.driver] if args.driver else sorted(events)
+    )
+    for driver_id in driver_ids:
+        if driver_id not in events:
+            raise SystemExit(f"unknown driver {driver_id!r}; "
+                             f"trained: {sorted(events)}")
+        print(f"\n== {driver_id} "
+              f"({len(events[driver_id])} trigger events) ==")
+        rows = [
+            [
+                event.rank,
+                format_float(event.score),
+                ", ".join(event.companies) or "-",
+                event.text[:70],
+            ]
+            for event in events[driver_id][: args.top]
+        ]
+        print(ascii_table(["Rank", "Score", "Companies", "Snippet"],
+                          rows))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    etap = _load_trained_etap(args)
+    events = etap.extract_trigger_events()
+    industry = None
+    if args.industry:
+        from repro.core.industry import get_industry
+
+        industry = get_industry(args.industry)
+    leads = etap.company_report(events, industry=industry)
+    rows = [
+        [
+            position,
+            etap.normalizer.display_name(lead.company),
+            format_float(lead.mrr),
+            lead.n_trigger_events,
+        ]
+        for position, lead in enumerate(leads[: args.top], start=1)
+    ]
+    print(ascii_table(["#", "Company", "MRR", "Trigger events"], rows))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+    )
+    etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    print("trigger events per driver:")
+    for driver in builtin_drivers():
+        driver_events = events[driver.driver_id]
+        best = driver_events[0].text[:60] if driver_events else "-"
+        print(f"  {driver.name:24s} {len(driver_events):4d}  "
+              f"top: {best}")
+    print("\ntop leads (Equation 2 MRR):")
+    for position, lead in enumerate(
+        etap.company_report(events)[:5], start=1
+    ):
+        print(f"  {position}. "
+              f"{etap.normalizer.display_name(lead.company):24s}"
+              f" MRR={lead.mrr:.3f} ({lead.n_trigger_events} events)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.corpus.generator import CorpusConfig, CorpusGenerator
+    from repro.corpus.stats import compute_stats, render_stats
+
+    generator = CorpusGenerator(CorpusConfig(seed=args.seed))
+    stats = compute_stats(generator.generate(args.docs))
+    print(render_stats(stats))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.evaluation.datasets import DatasetSpec
+    from repro.evaluation.report import write_report
+
+    spec = (
+        DatasetSpec() if args.profile == "full" else DatasetSpec.small()
+    )
+    path = write_report(args.out, spec=spec)
+    print(f"wrote reproduction report -> {path}")
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ETAP: automatic sales lead generation "
+                    "(ICDE 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gather = sub.add_parser("gather", help="crawl a synthetic web into "
+                                           "a workspace")
+    gather.add_argument("--workspace", required=True)
+    gather.add_argument("--docs", type=int, default=1500)
+    gather.add_argument("--seed", type=int, default=7)
+    gather.set_defaults(func=cmd_gather)
+
+    train = sub.add_parser("train", help="train per-driver classifiers")
+    train.add_argument("--workspace", required=True)
+    train.add_argument("--top-k", type=int, default=200,
+                       dest="top_k",
+                       help="documents per smart query")
+    train.add_argument("--negatives", type=int, default=6000)
+    train.set_defaults(func=cmd_train)
+
+    extract = sub.add_parser("extract", help="extract + rank trigger "
+                                             "events")
+    extract.add_argument("--workspace", required=True)
+    extract.add_argument("--driver", default=None)
+    extract.add_argument("--top", type=int, default=10)
+    extract.add_argument("--threshold", type=float, default=None)
+    extract.set_defaults(func=cmd_extract)
+
+    report = sub.add_parser("report", help="company-level lead list "
+                                           "(Equation 2)")
+    report.add_argument("--workspace", required=True)
+    report.add_argument("--top", type=int, default=15)
+    report.add_argument(
+        "--industry", default=None,
+        help="weight drivers per industry profile (it, steel)",
+    )
+    report.set_defaults(func=cmd_report)
+
+    demo = sub.add_parser("demo", help="end-to-end demo, no workspace")
+    demo.add_argument("--docs", type=int, default=800)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=cmd_demo)
+
+    stats = sub.add_parser(
+        "stats", help="corpus statistics of a generated web"
+    )
+    stats.add_argument("--docs", type=int, default=2000)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.set_defaults(func=cmd_stats)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper table/figure into a Markdown "
+             "report",
+    )
+    reproduce.add_argument("--out", required=True)
+    reproduce.add_argument(
+        "--profile", choices=["small", "full"], default="small",
+        help="corpus scale: 'full' matches the paper's test counts",
+    )
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

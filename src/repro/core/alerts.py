@@ -1,0 +1,140 @@
+"""The alert loop: re-crawl, score only new content, emit alerts.
+
+This is the "Electronic Trigger Alert Program" behaviour proper: a
+trained :class:`~repro.core.etap.Etap` instance watches an evolving web;
+each :meth:`AlertService.poll` re-runs the gatherer (the document store
+deduplicates, so only genuinely new pages enter), scores only the
+snippets of previously unseen documents, and emits one :class:`Alert`
+per new trigger event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.etap import Etap
+from repro.core.ranking import TriggerEvent, make_trigger_events, rank_events
+from repro.gather.dedup import NearDuplicateIndex
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One new trigger event surfaced by a poll cycle."""
+
+    cycle: int
+    driver_id: str
+    event: TriggerEvent
+
+    @property
+    def text(self) -> str:
+        return self.event.text
+
+    @property
+    def score(self) -> float:
+        return self.event.score
+
+
+@dataclass
+class PollReport:
+    """Outcome of one poll cycle."""
+
+    cycle: int
+    new_documents: int
+    new_snippets: int
+    alerts: list[Alert] = field(default_factory=list)
+
+
+class AlertService:
+    """Watches an ETAP instance's web for new trigger events."""
+
+    def __init__(
+        self,
+        etap: Etap,
+        threshold: float | None = None,
+        suppress_near_duplicates: bool = False,
+    ) -> None:
+        if not etap.classifiers:
+            raise ValueError(
+                "the Etap instance must be trained before alerting"
+            )
+        self.etap = etap
+        self.threshold = (
+            etap.config.trigger_threshold if threshold is None
+            else threshold
+        )
+        self._processed_docs: set[str] = set(etap.store.doc_ids())
+        self._cycle = 0
+        # One index per driver: the same story syndicated across sites
+        # should alert once, ever.
+        self._seen_alert_text: dict[str, NearDuplicateIndex] | None = (
+            {} if suppress_near_duplicates else None
+        )
+
+    def poll(self) -> PollReport:
+        """Re-crawl and alert on trigger events in new documents."""
+        self._cycle += 1
+        self.etap.gather()  # dedup means only new pages are stored
+        new_doc_ids = [
+            doc_id
+            for doc_id in self.etap.store.doc_ids()
+            if doc_id not in self._processed_docs
+        ]
+        self._processed_docs.update(new_doc_ids)
+
+        items = []
+        for doc_id in new_doc_ids:
+            snippets = self.etap.training.snippets_of_document(doc_id)
+            items.extend(self.etap.training.annotate_snippets(snippets))
+
+        report = PollReport(
+            cycle=self._cycle,
+            new_documents=len(new_doc_ids),
+            new_snippets=len(items),
+        )
+        if not items:
+            return report
+
+        for driver in self.etap.drivers:
+            scores = self.etap.score_snippets(driver.driver_id, items)
+            flagged = [
+                (item, score)
+                for item, score in zip(items, scores)
+                if score >= self.threshold
+            ]
+            if not flagged:
+                continue
+            events = rank_events(
+                make_trigger_events(
+                    driver.driver_id,
+                    [item for item, _ in flagged],
+                    [score for _, score in flagged],
+                    normalizer=self.etap.normalizer,
+                )
+            )
+            if self._seen_alert_text is not None:
+                events = self._drop_duplicate_stories(
+                    driver.driver_id, events
+                )
+            report.alerts.extend(
+                Alert(
+                    cycle=self._cycle,
+                    driver_id=driver.driver_id,
+                    event=event,
+                )
+                for event in events
+            )
+        return report
+
+    def _drop_duplicate_stories(
+        self, driver_id: str, events: list[TriggerEvent]
+    ) -> list[TriggerEvent]:
+        index = self._seen_alert_text.setdefault(
+            driver_id, NearDuplicateIndex(threshold=0.7, shingle_k=2)
+        )
+        kept = []
+        for event in events:
+            if index.is_near_duplicate(event.text):
+                continue
+            index.add(event.snippet_id, event.text)
+            kept.append(event)
+        return kept

@@ -1,0 +1,137 @@
+"""The trigger-event classifier: features + denoising + scoring.
+
+Glues the feature pipeline (abstraction -> vectorizer) to the iterative
+noise-tolerant training of section 3.3.2 for one sales driver.  One
+:class:`TriggerEventClassifier` is trained per driver (Figure 2 shows a
+bank of per-driver two-class classifiers); its output for a snippet is
+the posterior probability that the snippet is a trigger event for that
+driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.training import AnnotatedSnippet
+from repro.features.abstraction import AbstractionPolicy, abstract_tokens
+from repro.features.vectorizer import Vectorizer, VectorizerConfig
+from repro.ml.noise import (
+    ClassifierFactory,
+    DenoiseResult,
+    IterativeNoiseReducer,
+)
+from repro.text.stem import PorterStemmer
+
+
+@dataclass
+class TrainingSummary:
+    """What happened during training (exposed for experiments/benches)."""
+
+    driver_id: str
+    n_noisy_positive: int
+    n_noisy_kept: int
+    n_pure_positive: int
+    n_negative: int
+    n_iterations: int
+    n_features: int
+
+
+class TriggerEventClassifier:
+    """Per-driver snippet classifier with noise-tolerant training."""
+
+    def __init__(
+        self,
+        driver_id: str,
+        policy: AbstractionPolicy | None = None,
+        classifier_factory: ClassifierFactory | None = None,
+        vectorizer_config: VectorizerConfig | None = None,
+        max_denoise_iter: int = 2,
+        oversample_pure: int = 3,
+    ) -> None:
+        self.driver_id = driver_id
+        self.policy = policy or AbstractionPolicy.paper_default()
+        self._stemmer = PorterStemmer()
+        self.vectorizer = Vectorizer(
+            vectorizer_config or VectorizerConfig(min_df=2)
+        )
+        reducer_kwargs = {}
+        if classifier_factory is not None:
+            reducer_kwargs["classifier_factory"] = classifier_factory
+        self._reducer = IterativeNoiseReducer(
+            max_iter=max_denoise_iter,
+            oversample_pure=oversample_pure,
+            **reducer_kwargs,
+        )
+        self._model = None
+        self.summary: TrainingSummary | None = None
+        self.denoise_result: DenoiseResult | None = None
+
+    # -- features ----------------------------------------------------------
+
+    def features_of(self, item: AnnotatedSnippet) -> list[str]:
+        return abstract_tokens(
+            item.annotated, self.policy, stemmer=self._stemmer
+        )
+
+    def _feature_lists(
+        self, items: Sequence[AnnotatedSnippet]
+    ) -> list[list[str]]:
+        return [self.features_of(item) for item in items]
+
+    # -- training -----------------------------------------------------------
+
+    def fit(
+        self,
+        noisy_positive: Sequence[AnnotatedSnippet],
+        negative: Sequence[AnnotatedSnippet],
+        pure_positive: Sequence[AnnotatedSnippet] = (),
+    ) -> "TriggerEventClassifier":
+        """Train per section 3.3.2 and record a :class:`TrainingSummary`."""
+        if not noisy_positive:
+            raise ValueError("noisy positive set is empty")
+        if not negative:
+            raise ValueError("negative set is empty")
+        tokens_noisy = self._feature_lists(noisy_positive)
+        tokens_negative = self._feature_lists(negative)
+        tokens_pure = self._feature_lists(pure_positive)
+
+        self.vectorizer.fit(tokens_noisy + tokens_negative + tokens_pure)
+        X_noisy = self.vectorizer.transform(tokens_noisy)
+        X_negative = self.vectorizer.transform(tokens_negative)
+        X_pure = (
+            self.vectorizer.transform(tokens_pure) if tokens_pure else None
+        )
+
+        result = self._reducer.fit(X_noisy, X_negative, X_pure)
+        self._model = result.model
+        self.denoise_result = result
+        self.summary = TrainingSummary(
+            driver_id=self.driver_id,
+            n_noisy_positive=len(noisy_positive),
+            n_noisy_kept=int(result.kept_mask.sum()),
+            n_pure_positive=len(pure_positive),
+            n_negative=len(negative),
+            n_iterations=result.n_iterations,
+            n_features=self.vectorizer.n_features,
+        )
+        return self
+
+    # -- inference ----------------------------------------------------------
+
+    def score(self, items: Sequence[AnnotatedSnippet]) -> np.ndarray:
+        """Posterior probability of the trigger class per snippet."""
+        if self._model is None:
+            raise RuntimeError("classifier must be fit before scoring")
+        if not items:
+            return np.zeros(0)
+        X = self.vectorizer.transform(self._feature_lists(items))
+        return self._model.predict_proba(X)[:, 1]
+
+    def predict(
+        self, items: Sequence[AnnotatedSnippet], threshold: float = 0.5
+    ) -> np.ndarray:
+        """Hard trigger / non-trigger decisions."""
+        return (self.score(items) >= threshold).astype(np.int64)

@@ -1,0 +1,266 @@
+"""ETAP — the Electronic Trigger Alert Program, end to end.
+
+The facade composes the three components of Figure 1:
+
+1. **data gathering** — crawl the (synthetic) web into a document store
+   and search index;
+2. **event identification** — generate training data per sales driver
+   (smart queries + filters), train the noise-tolerant classifiers, and
+   score every snippet in the collection;
+3. **ranking** — order trigger events by classifier score (optionally by
+   semantic orientation for revenue growth) and aggregate per company
+   with Equation 2.
+
+Typical use::
+
+    etap = Etap.from_web(build_web(3000))
+    etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    leads = etap.company_report(events)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.classifier import TriggerEventClassifier, TrainingSummary
+from repro.core.company import CompanyNormalizer
+from repro.core.drivers import SalesDriver, builtin_drivers
+from repro.core.lexicon import revenue_growth_lexicon
+from repro.core.ranking import (
+    CompanyRanker,
+    CompanyScore,
+    SemanticOrientationRanker,
+    TriggerEvent,
+    make_trigger_events,
+    rank_events,
+)
+from repro.core.snippets import SnippetGenerator
+from repro.core.training import (
+    AnnotatedSnippet,
+    NoisyPositiveReport,
+    TrainingDataGenerator,
+)
+from repro.corpus.templates import REVENUE_GROWTH
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.industry import IndustryProfile
+from repro.corpus.web import SyntheticWeb
+from repro.features.abstraction import AbstractionPolicy
+from repro.gather.pipeline import DataGatherer, GatherReport
+from repro.gather.store import DocumentStore
+from repro.ml.noise import ClassifierFactory
+from repro.search.engine import SearchEngine
+from repro.text.annotator import Annotator
+from repro.text.ner import NerConfig
+
+
+@dataclass
+class EtapConfig:
+    """Tuning knobs for the whole pipeline (paper defaults)."""
+
+    top_k_per_query: int = 200
+    negative_sample_size: int = 6000
+    snippet_window: int = 3
+    max_denoise_iter: int = 2
+    oversample_pure: int = 3
+    trigger_threshold: float = 0.5
+    ner: NerConfig = field(default_factory=NerConfig)
+    policy: AbstractionPolicy = field(
+        default_factory=AbstractionPolicy.paper_default
+    )
+    classifier_factory: ClassifierFactory | None = None
+    max_crawl_pages: int = 100_000
+
+
+class Etap:
+    """The assembled pipeline; one instance per corpus."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        engine: SearchEngine,
+        drivers: Sequence[SalesDriver] | None = None,
+        config: EtapConfig | None = None,
+        web: SyntheticWeb | None = None,
+    ) -> None:
+        self.config = config or EtapConfig()
+        self.drivers = list(drivers) if drivers else builtin_drivers()
+        self.store = store
+        self.engine = engine
+        self._web = web
+        self.annotator = Annotator(self.config.ner)
+        self.training = TrainingDataGenerator(
+            store=store,
+            engine=engine,
+            annotator=self.annotator,
+            snippet_generator=SnippetGenerator(
+                window=self.config.snippet_window
+            ),
+        )
+        self.normalizer = CompanyNormalizer()
+        self.classifiers: dict[str, TriggerEventClassifier] = {}
+        self.noisy_reports: dict[str, NoisyPositiveReport] = {}
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_web(
+        cls,
+        web: SyntheticWeb,
+        drivers: Sequence[SalesDriver] | None = None,
+        config: EtapConfig | None = None,
+    ) -> "Etap":
+        """Build an ETAP whose gather step crawls the given web."""
+        config = config or EtapConfig()
+        gatherer = DataGatherer(web, max_pages=config.max_crawl_pages)
+        etap = cls(
+            store=gatherer.store,
+            engine=gatherer.engine,
+            drivers=drivers,
+            config=config,
+            web=web,
+        )
+        etap._gatherer = gatherer
+        return etap
+
+    # -- component 1: data gathering -------------------------------------------
+
+    def gather(self) -> GatherReport:
+        """Crawl and index the web (no-op when built from a store)."""
+        gatherer = getattr(self, "_gatherer", None)
+        if gatherer is None:
+            raise RuntimeError(
+                "this Etap was built from an existing store; "
+                "use Etap.from_web to enable gathering"
+            )
+        return gatherer.gather()
+
+    # -- component 2: event identification -------------------------------------
+
+    def train(
+        self,
+        pure_positive: dict[str, Sequence[AnnotatedSnippet]] | None = None,
+        negative_seed: int = 17,
+    ) -> dict[str, TrainingSummary]:
+        """Generate training data and fit one classifier per driver."""
+        if len(self.store) == 0:
+            raise RuntimeError("gather() must run before train()")
+        pure_positive = pure_positive or {}
+        negatives = self.training.negative_sample(
+            self.config.negative_sample_size, seed=negative_seed
+        )
+        summaries: dict[str, TrainingSummary] = {}
+        for driver in self.drivers:
+            noisy, report = self.training.noisy_positive(
+                driver, top_k_per_query=self.config.top_k_per_query
+            )
+            self.noisy_reports[driver.driver_id] = report
+            classifier = TriggerEventClassifier(
+                driver_id=driver.driver_id,
+                policy=self.config.policy,
+                classifier_factory=self.config.classifier_factory,
+                max_denoise_iter=self.config.max_denoise_iter,
+                oversample_pure=self.config.oversample_pure,
+            )
+            classifier.fit(
+                noisy_positive=noisy,
+                negative=negatives,
+                pure_positive=tuple(
+                    pure_positive.get(driver.driver_id, ())
+                ),
+            )
+            self.classifiers[driver.driver_id] = classifier
+            summaries[driver.driver_id] = classifier.summary
+        return summaries
+
+    def score_snippets(
+        self, driver_id: str, items: Sequence[AnnotatedSnippet]
+    ):
+        """Posterior trigger probabilities for prepared snippets."""
+        return self._classifier(driver_id).score(items)
+
+    def extract_trigger_events(
+        self,
+        threshold: float | None = None,
+        since_day: int | None = None,
+    ) -> dict[str, list[TriggerEvent]]:
+        """Scan the collection and return ranked events per driver.
+
+        ``since_day`` restricts the scan to documents published on or
+        after that simulated-calendar day — a freshness window, so old
+        pages don't resurface as leads.
+        """
+        if not self.classifiers:
+            raise RuntimeError("train() must run before extraction")
+        threshold = (
+            self.config.trigger_threshold if threshold is None else threshold
+        )
+        all_items: list[AnnotatedSnippet] = []
+        for doc_id in self.store.doc_ids():
+            if since_day is not None:
+                published = self.store.get(doc_id).metadata.get(
+                    "published_day"
+                )
+                if published is not None and published < since_day:
+                    continue
+            snippets = self.training.snippets_of_document(doc_id)
+            all_items.extend(self.training.annotate_snippets(snippets))
+
+        events: dict[str, list[TriggerEvent]] = {}
+        for driver in self.drivers:
+            scores = self.score_snippets(driver.driver_id, all_items)
+            flagged = [
+                (item, score)
+                for item, score in zip(all_items, scores)
+                if score >= threshold
+            ]
+            driver_events = make_trigger_events(
+                driver.driver_id,
+                [item for item, _ in flagged],
+                [score for _, score in flagged],
+                normalizer=self.normalizer,
+            )
+            events[driver.driver_id] = rank_events(driver_events)
+        return events
+
+    # -- component 3: ranking ----------------------------------------------------
+
+    def rank_by_semantic_orientation(
+        self, events: Sequence[TriggerEvent]
+    ) -> list[TriggerEvent]:
+        """Figure 8 ordering for the revenue-growth driver."""
+        ranker = SemanticOrientationRanker(revenue_growth_lexicon())
+        return ranker.rank(events)
+
+    def company_report(
+        self,
+        events_by_driver: dict[str, list[TriggerEvent]],
+        industry: "IndustryProfile | None" = None,
+    ) -> list[CompanyScore]:
+        """Equation 2's company-level lead list.
+
+        With an :class:`~repro.core.industry.IndustryProfile`, drivers
+        are filtered and weighted per that industry (section 2's
+        IT-vs-steel distinction).
+        """
+        if industry is not None:
+            return industry.lead_list(events_by_driver)
+        return CompanyRanker().score_companies(events_by_driver)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _classifier(self, driver_id: str) -> TriggerEventClassifier:
+        try:
+            return self.classifiers[driver_id]
+        except KeyError:
+            raise KeyError(
+                f"no trained classifier for {driver_id!r}; "
+                f"trained: {sorted(self.classifiers)}"
+            ) from None
+
+    _gatherer: DataGatherer | None = None

@@ -1,0 +1,99 @@
+"""Export trigger events and lead lists for downstream CRM tooling.
+
+The ranked output of ETAP feeds "the further sales related processes"
+(section 4) — in practice, a CRM import.  CSV (spreadsheet-friendly)
+and JSON-lines (pipeline-friendly) writers for both trigger events and
+company lead lists.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.ranking import CompanyScore, TriggerEvent
+
+EVENT_FIELDS = (
+    "driver_id", "rank", "score", "companies", "snippet_id", "text",
+)
+LEAD_FIELDS = ("rank", "company", "mrr", "n_trigger_events")
+
+
+def _event_row(event: TriggerEvent) -> dict:
+    return {
+        "driver_id": event.driver_id,
+        "rank": event.rank,
+        "score": round(event.score, 6),
+        "companies": "; ".join(event.companies),
+        "snippet_id": event.snippet_id,
+        "text": event.text,
+    }
+
+
+def export_events_csv(
+    events: Sequence[TriggerEvent], path: str | Path
+) -> Path:
+    """Write ranked trigger events to CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=EVENT_FIELDS)
+        writer.writeheader()
+        for event in events:
+            writer.writerow(_event_row(event))
+    return path
+
+
+def export_events_jsonl(
+    events: Sequence[TriggerEvent], path: str | Path
+) -> Path:
+    """Write ranked trigger events to JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            record = _event_row(event)
+            record["companies"] = list(event.companies)
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def export_leads_csv(
+    leads: Sequence[CompanyScore], path: str | Path
+) -> Path:
+    """Write the Equation 2 company lead list to CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=LEAD_FIELDS)
+        writer.writeheader()
+        for rank, lead in enumerate(leads, start=1):
+            writer.writerow(
+                {
+                    "rank": rank,
+                    "company": lead.company,
+                    "mrr": round(lead.mrr, 6),
+                    "n_trigger_events": lead.n_trigger_events,
+                }
+            )
+    return path
+
+
+def export_leads_jsonl(
+    leads: Sequence[CompanyScore], path: str | Path
+) -> Path:
+    """Write the company lead list to JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for rank, lead in enumerate(leads, start=1):
+            handle.write(
+                json.dumps(
+                    {
+                        "rank": rank,
+                        "company": lead.company,
+                        "mrr": round(lead.mrr, 6),
+                        "n_trigger_events": lead.n_trigger_events,
+                    }
+                )
+                + "\n"
+            )
+    return path

@@ -1,0 +1,101 @@
+"""Industry profiles: driver sets and weights per industry (section 2).
+
+"The set of sales drivers could be different for different industries.
+As an example, mergers & acquisitions could be a sales driver for the
+IT industry but may not be a sales driver for the steel industry."
+
+An :class:`IndustryProfile` names the drivers relevant to one industry
+and how strongly each indicates a purchase, and turns ranked trigger
+events into an industry-specific lead list via the weighted Equation 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.ranking import CompanyRanker, CompanyScore, TriggerEvent
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+    REVENUE_GROWTH,
+)
+
+
+@dataclass(frozen=True)
+class IndustryProfile:
+    """Drivers relevant to one industry, with importance weights."""
+
+    industry_id: str
+    name: str
+    driver_weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.driver_weights:
+            raise ValueError("an industry profile needs drivers")
+        bad = [d for d, w in self.driver_weights.items() if w < 0]
+        if bad:
+            raise ValueError(f"negative driver weights: {bad}")
+
+    @property
+    def driver_ids(self) -> list[str]:
+        return [d for d, w in self.driver_weights.items() if w > 0]
+
+    def filter_events(
+        self, events_by_driver: dict[str, Sequence[TriggerEvent]]
+    ) -> dict[str, Sequence[TriggerEvent]]:
+        """Keep only the drivers this industry cares about."""
+        return {
+            driver_id: events
+            for driver_id, events in events_by_driver.items()
+            if self.driver_weights.get(driver_id, 0.0) > 0
+        }
+
+    def lead_list(
+        self, events_by_driver: dict[str, Sequence[TriggerEvent]]
+    ) -> list[CompanyScore]:
+        """Weighted Equation 2 over this industry's drivers only."""
+        ranker = CompanyRanker(driver_weights=self.driver_weights)
+        return ranker.score_companies(
+            self.filter_events(events_by_driver)
+        )
+
+
+def it_industry() -> IndustryProfile:
+    """The paper's running example: all three drivers matter, M&A most
+    (system integration after a merger drives IT purchases)."""
+    return IndustryProfile(
+        industry_id="it",
+        name="Information technology",
+        driver_weights={
+            MERGERS_ACQUISITIONS: 1.5,
+            CHANGE_IN_MANAGEMENT: 1.0,
+            REVENUE_GROWTH: 1.0,
+        },
+    )
+
+
+def steel_industry() -> IndustryProfile:
+    """The paper's counterexample: M&A is *not* a steel sales driver."""
+    return IndustryProfile(
+        industry_id="steel",
+        name="Steel",
+        driver_weights={
+            MERGERS_ACQUISITIONS: 0.0,
+            CHANGE_IN_MANAGEMENT: 0.5,
+            REVENUE_GROWTH: 1.5,
+        },
+    )
+
+
+_BUILTIN = {"it": it_industry, "steel": steel_industry}
+
+
+def get_industry(industry_id: str) -> IndustryProfile:
+    try:
+        return _BUILTIN[industry_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown industry {industry_id!r}; "
+            f"builtins: {sorted(_BUILTIN)}"
+        ) from None

@@ -1,0 +1,181 @@
+"""Persistence for trained trigger-event classifiers.
+
+A production deployment trains per-driver classifiers once and serves
+them across many crawl cycles; this module serializes a trained
+:class:`~repro.core.classifier.TriggerEventClassifier` — abstraction
+policy, vocabulary and model parameters — to a single JSON document,
+and restores it without retraining.
+
+Supported inner models: multinomial / Bernoulli naive Bayes (the
+defaults), linear SVM and logistic regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import TriggerEventClassifier
+from repro.features.abstraction import AbstractionPolicy
+from repro.features.vectorizer import Vectorizer, VectorizerConfig
+from repro.ml.logreg import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+from repro.ml.svm import LinearSvm
+
+FORMAT_VERSION = 1
+
+
+class UnsupportedModelError(TypeError):
+    """Raised when the classifier's inner model cannot be serialized."""
+
+
+def _dump_model(model) -> dict:
+    if isinstance(model, MultinomialNaiveBayes):
+        return {
+            "kind": "multinomial_nb",
+            "alpha": model.alpha,
+            "class_log_prior": model.class_log_prior_.tolist(),
+            "feature_log_prob": model.feature_log_prob_.tolist(),
+        }
+    if isinstance(model, BernoulliNaiveBayes):
+        return {
+            "kind": "bernoulli_nb",
+            "alpha": model.alpha,
+            "class_log_prior": model.class_log_prior_.tolist(),
+            "log_p": model._log_p.tolist(),
+            "log_q": model._log_q.tolist(),
+        }
+    if isinstance(model, LinearSvm):
+        return {
+            "kind": "linear_svm",
+            "weights": model.weights_.tolist(),
+            "bias": model.bias_,
+        }
+    if isinstance(model, LogisticRegression):
+        return {
+            "kind": "logistic_regression",
+            "weights": model.weights_.tolist(),
+            "bias": model.bias_,
+        }
+    raise UnsupportedModelError(
+        f"cannot serialize model of type {type(model).__name__}"
+    )
+
+
+def _load_model(record: dict):
+    kind = record["kind"]
+    if kind == "multinomial_nb":
+        model = MultinomialNaiveBayes(alpha=record["alpha"])
+        model.class_log_prior_ = np.array(record["class_log_prior"])
+        model.feature_log_prob_ = np.array(record["feature_log_prob"])
+        model._fitted = True
+        return model
+    if kind == "bernoulli_nb":
+        model = BernoulliNaiveBayes(alpha=record["alpha"])
+        model.class_log_prior_ = np.array(record["class_log_prior"])
+        model._log_p = np.array(record["log_p"])
+        model._log_q = np.array(record["log_q"])
+        model._fitted = True
+        return model
+    if kind == "linear_svm":
+        model = LinearSvm()
+        model.weights_ = np.array(record["weights"])
+        model.bias_ = float(record["bias"])
+        model._fitted = True
+        return model
+    if kind == "logistic_regression":
+        model = LogisticRegression()
+        model.weights_ = np.array(record["weights"])
+        model.bias_ = float(record["bias"])
+        model._fitted = True
+        return model
+    raise UnsupportedModelError(f"unknown model kind {kind!r}")
+
+
+def classifier_to_dict(classifier: TriggerEventClassifier) -> dict:
+    """Serialize a *trained* classifier to a JSON-compatible dict."""
+    if classifier._model is None:
+        raise ValueError("classifier must be trained before saving")
+    return {
+        "format_version": FORMAT_VERSION,
+        "driver_id": classifier.driver_id,
+        "policy": sorted(classifier.policy.abstract_categories),
+        "vectorizer": {
+            "min_df": classifier.vectorizer.config.min_df,
+            "binary": classifier.vectorizer.config.binary,
+            "max_features": classifier.vectorizer.config.max_features,
+            "vocabulary": classifier.vectorizer.vocabulary,
+        },
+        "model": _dump_model(classifier._model),
+    }
+
+
+def classifier_from_dict(record: dict) -> TriggerEventClassifier:
+    """Rebuild a classifier saved by :func:`classifier_to_dict`."""
+    version = record.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported classifier format version {version!r}"
+        )
+    classifier = TriggerEventClassifier(
+        record["driver_id"],
+        policy=AbstractionPolicy(
+            abstract_categories=frozenset(record["policy"])
+        ),
+    )
+    vec_record = record["vectorizer"]
+    vectorizer = Vectorizer(
+        VectorizerConfig(
+            min_df=vec_record["min_df"],
+            binary=vec_record["binary"],
+            max_features=vec_record["max_features"],
+        )
+    )
+    vectorizer.vocabulary = dict(vec_record["vocabulary"])
+    vectorizer._fitted = True
+    classifier.vectorizer = vectorizer
+    classifier._model = _load_model(record["model"])
+    return classifier
+
+
+def save_classifier(
+    classifier: TriggerEventClassifier, path: str | Path
+) -> None:
+    """Write a trained classifier to a JSON file."""
+    Path(path).write_text(
+        json.dumps(classifier_to_dict(classifier)), encoding="utf-8"
+    )
+
+
+def load_classifier(path: str | Path) -> TriggerEventClassifier:
+    """Load a classifier written by :func:`save_classifier`."""
+    record = json.loads(Path(path).read_text(encoding="utf-8"))
+    return classifier_from_dict(record)
+
+
+def save_classifiers(
+    classifiers: dict[str, TriggerEventClassifier], directory: str | Path
+) -> list[Path]:
+    """Save one JSON file per driver into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for driver_id, classifier in classifiers.items():
+        path = directory / f"{driver_id}.classifier.json"
+        save_classifier(classifier, path)
+        written.append(path)
+    return written
+
+
+def load_classifiers(
+    directory: str | Path,
+) -> dict[str, TriggerEventClassifier]:
+    """Load every ``*.classifier.json`` in ``directory``."""
+    directory = Path(directory)
+    classifiers = {}
+    for path in sorted(directory.glob("*.classifier.json")):
+        classifier = load_classifier(path)
+        classifiers[classifier.driver_id] = classifier
+    return classifiers

@@ -1,0 +1,124 @@
+"""Temporal association of trigger events (section 6 future work).
+
+*"For a trigger event to be useful, it should belong to a relevant time
+period ... methods need to be developed to resolve phrases such as 'last
+year' and 'previous quarter'."*  And section 5.2 suggests countering
+biography-style false positives "by making the score corresponding to
+each snippet a function of the time period associated with the snippet."
+
+This module implements both: resolution of absolute and relative time
+expressions against a reference year, and a recency multiplier that
+decays the score of snippets anchored in the past (a biography's
+``from 1980-1985`` lands far below a fresh announcement).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.text.annotator import AnnotatedText
+
+_YEAR_RE = re.compile(r"\b(19[0-9]{2}|20[0-9]{2})\b")
+_RANGE_RE = re.compile(r"\b(19[0-9]{2}|20[0-9]{2})\s*-\s*(19[0-9]{2}|20[0-9]{2})\b")
+
+_RELATIVE_OFFSETS = {
+    "last year": -1,
+    "previous year": -1,
+    "a year earlier": -1,
+    "a year ago": -1,
+    "this year": 0,
+    "later this year": 0,
+    "earlier this year": 0,
+    "next year": 1,
+    "last quarter": 0,
+    "previous quarter": 0,
+    "this quarter": 0,
+    "next quarter": 0,
+    "next month": 0,
+    "last month": 0,
+}
+
+_CURRENT_MARKERS = (
+    "today", "yesterday", "announced", "will", "plans to", "is expected",
+    "effective", "next month", "under way",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalReading:
+    """Resolved temporal anchor of a snippet."""
+
+    years: tuple[int, ...]
+    resolved_year: int | None
+    has_relative_reference: bool
+    has_current_marker: bool
+
+
+def extract_years(text: str) -> list[int]:
+    """All absolute year mentions, including both ends of ranges."""
+    years = [int(match.group()) for match in _YEAR_RE.finditer(text)]
+    return years
+
+
+def resolve(text: str, reference_year: int) -> TemporalReading:
+    """Resolve the time period a snippet refers to.
+
+    The anchor is the *most recent* mentioned year (ranges contribute
+    their end), with relative phrases resolved against
+    ``reference_year``.  A snippet with no temporal evidence at all gets
+    ``resolved_year=None`` and is treated as current by the scorer.
+    """
+    lower = text.lower()
+    years = extract_years(text)
+    relative_years = [
+        reference_year + offset
+        for phrase, offset in _RELATIVE_OFFSETS.items()
+        if phrase in lower
+    ]
+    has_relative = bool(relative_years)
+    candidates = years + relative_years
+    resolved = max(candidates) if candidates else None
+    has_current = any(marker in lower for marker in _CURRENT_MARKERS)
+    return TemporalReading(
+        years=tuple(years),
+        resolved_year=resolved,
+        has_relative_reference=has_relative,
+        has_current_marker=has_current,
+    )
+
+
+def recency_multiplier(
+    reading: TemporalReading,
+    reference_year: int,
+    half_life_years: float = 2.0,
+) -> float:
+    """Score multiplier in (0, 1]; 1 for current events, decaying with age.
+
+    A snippet whose only temporal anchor lies ``d`` years in the past is
+    multiplied by ``0.5 ** (d / half_life_years)``.  Current markers
+    ("announced", "will", ...) floor the multiplier at 0.5 since the
+    snippet likely reports a fresh event alongside historical context.
+    """
+    if half_life_years <= 0:
+        raise ValueError("half_life_years must be positive")
+    if reading.resolved_year is None:
+        return 1.0
+    age = max(reference_year - reading.resolved_year, 0)
+    multiplier = 0.5 ** (age / half_life_years)
+    if reading.has_current_marker:
+        multiplier = max(multiplier, 0.5)
+    return multiplier
+
+
+def score_with_recency(
+    base_score: float,
+    annotated: AnnotatedText,
+    reference_year: int,
+    half_life_years: float = 2.0,
+) -> float:
+    """Apply the section 5.2 suggestion: score x recency(snippet)."""
+    reading = resolve(annotated.text, reference_year)
+    return base_score * recency_multiplier(
+        reading, reference_year, half_life_years
+    )

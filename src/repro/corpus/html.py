@@ -1,0 +1,68 @@
+"""HTML serving layer: pages as a real fetcher would see them.
+
+The synthetic web stores clean text for speed, but a real crawl sees
+markup: tags, escaped entities, navigation chrome.  :func:`page_html`
+renders a page the way a 2005-era news site would serve it, and
+:func:`extract_text` is the fetcher-side inverse built on
+:mod:`repro.text.normalize` — the round trip recovers the page text
+exactly, which is what licenses the pipeline to operate on the stored
+text directly.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+
+from repro.corpus.web import Page
+from repro.text.normalize import normalize_crawl_text
+
+_HEAD_RE = re.compile(r"<head>.*?</head>", re.DOTALL | re.IGNORECASE)
+_NAV_RE = re.compile(
+    r"<nav>.*?</nav>|<footer>.*?</footer>", re.DOTALL | re.IGNORECASE
+)
+
+
+def page_html(page: Page) -> str:
+    """Render a page as served HTML: head, nav chrome, escaped body."""
+    body = _html.escape(page.text)
+    title = _html.escape(page.title)
+    links = "".join(
+        f'<li><a href="{_html.escape(link)}">related</a></li>'
+        for link in page.links[:10]
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        "<html>\n"
+        f"<head><title>{title}</title>"
+        '<meta charset="utf-8"></head>\n'
+        "<body>\n"
+        f"<nav><ul>{links}</ul></nav>\n"
+        f"<h1>{title}</h1>\n"
+        f"<p>{body}</p>\n"
+        "<footer>Copyright the publisher. All rights reserved."
+        "</footer>\n"
+        "</body>\n"
+        "</html>"
+    )
+
+
+def extract_text(document_html: str) -> str:
+    """Fetcher-side extraction: drop head/nav/footer chrome, strip
+    markup, unescape entities, normalize whitespace.
+
+    For pages rendered by :func:`page_html`, the result is the page's
+    title followed by its text.
+    """
+    stripped = _HEAD_RE.sub(" ", document_html)
+    stripped = _NAV_RE.sub(" ", stripped)
+    return normalize_crawl_text(stripped)
+
+
+def extract_body_text(document_html: str) -> str:
+    """Like :func:`extract_text` but without the headline line."""
+    text = extract_text(document_html)
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) >= 2:
+        return "\n".join(lines[1:]).strip()
+    return text

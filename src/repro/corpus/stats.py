@@ -1,0 +1,110 @@
+"""Corpus statistics: the numbers behind the reproduction's claims.
+
+DESIGN.md asserts the synthetic web has certain statistical properties
+(head-heavy entity mentions, minority trigger documents, noise inside
+relevant pages).  This module measures them on an actual generated
+corpus so the claims are checkable, and so EXPERIMENTS.md can cite real
+figures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.corpus.generator import TRIGGER_DOC_TYPES, Document
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a generated document collection."""
+
+    n_documents: int
+    n_sentences: int
+    n_trigger_documents: int
+    n_trigger_sentences: int
+    doc_type_counts: dict[str, int]
+    company_mention_counts: dict[str, int]
+
+    @property
+    def trigger_document_fraction(self) -> float:
+        if self.n_documents == 0:
+            return 0.0
+        return self.n_trigger_documents / self.n_documents
+
+    @property
+    def noise_fraction_in_trigger_docs(self) -> float:
+        """Fraction of sentences inside trigger documents that are NOT
+        trigger sentences — the Figure 6 phenomenon, quantified."""
+        trigger_doc_sentences = self._trigger_doc_sentence_count
+        if trigger_doc_sentences == 0:
+            return 0.0
+        return 1.0 - self.n_trigger_sentences / trigger_doc_sentences
+
+    _trigger_doc_sentence_count: int = 0
+
+    def mention_share_of_top(self, k: int = 10) -> float:
+        """Share of all company mentions taken by the top-k companies —
+        the head-heaviness DESIGN.md relies on for Figures 3/4."""
+        total = sum(self.company_mention_counts.values())
+        if total == 0:
+            return 0.0
+        top = sum(
+            count
+            for _, count in Counter(
+                self.company_mention_counts
+            ).most_common(k)
+        )
+        return top / total
+
+
+def compute_stats(documents: Sequence[Document]) -> CorpusStats:
+    """Measure a generated collection."""
+    doc_types: Counter = Counter()
+    mentions: Counter = Counter()
+    n_sentences = 0
+    n_trigger_docs = 0
+    n_trigger_sentences = 0
+    trigger_doc_sentences = 0
+    for document in documents:
+        doc_types[document.doc_type] += 1
+        n_sentences += len(document.sentences)
+        for company in document.companies:
+            occurrences = document.text.count(company)
+            mentions[company] += max(occurrences, 1)
+        if document.doc_type in TRIGGER_DOC_TYPES:
+            n_trigger_docs += 1
+            trigger_doc_sentences += len(document.sentences)
+            n_trigger_sentences += sum(
+                1 for s in document.sentences if s.label is not None
+            )
+    return CorpusStats(
+        n_documents=len(documents),
+        n_sentences=n_sentences,
+        n_trigger_documents=n_trigger_docs,
+        n_trigger_sentences=n_trigger_sentences,
+        doc_type_counts=dict(doc_types),
+        company_mention_counts=dict(mentions),
+        _trigger_doc_sentence_count=trigger_doc_sentences,
+    )
+
+
+def render_stats(stats: CorpusStats) -> str:
+    """Human-readable summary."""
+    lines = [
+        f"documents:           {stats.n_documents}",
+        f"sentences:           {stats.n_sentences}",
+        f"trigger documents:   {stats.n_trigger_documents} "
+        f"({stats.trigger_document_fraction:.1%})",
+        f"noise inside trigger docs: "
+        f"{stats.noise_fraction_in_trigger_docs:.1%} of sentences",
+        f"top-10 companies' mention share: "
+        f"{stats.mention_share_of_top(10):.1%}",
+        "doc types:",
+    ]
+    for doc_type, count in sorted(
+        stats.doc_type_counts.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {doc_type:<18s} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Precision-recall curves and threshold selection.
+
+The paper reports a single operating point per driver (Table 1); for a
+deployed ETAP the analyst chooses the precision/recall trade-off by
+thresholding the classifier's posterior.  This module sweeps the
+threshold, renders the curve, and picks the F1-optimal operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.metrics import precision_recall_f1
+
+
+@dataclass(frozen=True, slots=True)
+class CurvePoint:
+    """One operating point on the PR curve."""
+
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+
+
+def precision_recall_curve(
+    y_true: Sequence[int],
+    scores: Sequence[float],
+    thresholds: Sequence[float] | None = None,
+) -> list[CurvePoint]:
+    """Operating points over a threshold sweep (descending recall).
+
+    Default thresholds: the deciles of the observed scores plus the
+    conventional 0.5, deduplicated.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must align")
+    if thresholds is None:
+        deciles = np.unique(
+            np.percentile(scores, np.arange(0, 101, 10))
+        )
+        thresholds = sorted(set(np.round(deciles, 6)) | {0.5})
+    points = []
+    for threshold in thresholds:
+        predictions = (scores >= threshold).astype(np.int64)
+        measured = precision_recall_f1(y_true, predictions)
+        points.append(
+            CurvePoint(
+                threshold=float(threshold),
+                precision=measured.precision,
+                recall=measured.recall,
+                f1=measured.f1,
+            )
+        )
+    return points
+
+
+def best_operating_point(points: Sequence[CurvePoint]) -> CurvePoint:
+    """The F1-maximizing point (ties: lower threshold, more recall)."""
+    if not points:
+        raise ValueError("no curve points given")
+    return max(points, key=lambda p: (p.f1, -p.threshold))
+
+
+def render_curve(points: Sequence[CurvePoint], width: int = 30) -> str:
+    """ASCII rendering: one row per threshold with a precision bar."""
+    lines = [f"{'thr':>8s} {'P':>6s} {'R':>6s} {'F1':>6s}  precision"]
+    for point in points:
+        bar = "#" * int(round(point.precision * width))
+        lines.append(
+            f"{point.threshold:8.3f} {point.precision:6.3f} "
+            f"{point.recall:6.3f} {point.f1:6.3f}  |{bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""ASCII rendering of experiment outputs (tables and log-bar charts).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that presentation consistent across benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        return " | ".join(
+            value.ljust(widths[column])
+            for column, value in enumerate(values)
+        )
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines = [render_row(list(headers)), rule]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    floor: float = 1e-6,
+) -> str:
+    """Horizontal bars of log10(value), like the Y axes of Figures 3-4.
+
+    Each label gets one bar per series; values at or below ``floor``
+    render as empty bars.
+    """
+    if not series:
+        return ""
+    floors = [
+        max(float(value), floor)
+        for values in series.values()
+        for value in values
+    ]
+    log_values = [math.log10(value) for value in floors]
+    low, high = min(log_values), max(log_values)
+    span = (high - low) or 1.0
+
+    lines = []
+    label_width = max((len(label) for label in labels), default=0)
+    name_width = max(len(name) for name in series)
+    for index, label in enumerate(labels):
+        for name, values in series.items():
+            value = max(float(values[index]), floor)
+            filled = int(
+                round((math.log10(value) - low) / span * width)
+            )
+            bar = "#" * filled
+            lines.append(
+                f"{label.ljust(label_width)} {name.ljust(name_width)} "
+                f"|{bar.ljust(width)}| log10={math.log10(value):7.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"

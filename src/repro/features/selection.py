@@ -1,0 +1,133 @@
+"""Classic feature-selection measures: chi-square, information gain, MI.
+
+Section 3.2.1: *"statistical measures are used to compute the amount of
+information that tokens (features) contain with respect to the label-set.
+Standard measures used are chi-2, information gain, and mutual
+information.  Features are ranked by one of these measures and only the
+top few features are retained."*  These scorers operate on binary
+presence counts per document, the standard formulation for text.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureScore:
+    feature: str
+    score: float
+
+
+def _presence_counts(
+    documents: Sequence[Sequence[str]], labels: Sequence[int]
+) -> tuple[dict[str, Counter], Counter, int]:
+    """Per-feature presence counts by class, class totals, and N."""
+    by_feature: dict[str, Counter] = defaultdict(Counter)
+    class_totals: Counter = Counter()
+    for tokens, label in zip(documents, labels):
+        class_totals[label] += 1
+        for feature in set(tokens):
+            by_feature[feature][label] += 1
+    return by_feature, class_totals, len(documents)
+
+
+def chi_square_scores(
+    documents: Sequence[Sequence[str]], labels: Sequence[int]
+) -> list[FeatureScore]:
+    """Chi-square statistic of each feature against the label set."""
+    by_feature, class_totals, n = _presence_counts(documents, labels)
+    if n == 0:
+        return []
+    scores = []
+    for feature, presence in by_feature.items():
+        present_total = sum(presence.values())
+        statistic = 0.0
+        for label, class_total in class_totals.items():
+            observed_present = presence.get(label, 0)
+            observed_absent = class_total - observed_present
+            expected_present = class_total * present_total / n
+            expected_absent = class_total * (n - present_total) / n
+            if expected_present > 0:
+                statistic += (
+                    (observed_present - expected_present) ** 2
+                    / expected_present
+                )
+            if expected_absent > 0:
+                statistic += (
+                    (observed_absent - expected_absent) ** 2
+                    / expected_absent
+                )
+        scores.append(FeatureScore(feature, statistic))
+    return sorted(scores, key=lambda s: (-s.score, s.feature))
+
+
+def information_gain_scores(
+    documents: Sequence[Sequence[str]], labels: Sequence[int]
+) -> list[FeatureScore]:
+    """IG(Y; present(feature)) for each feature, in bits."""
+    by_feature, class_totals, n = _presence_counts(documents, labels)
+    if n == 0:
+        return []
+    h_y = _entropy_from_counter(class_totals)
+    scores = []
+    for feature, presence in by_feature.items():
+        present_total = sum(presence.values())
+        absent = Counter(
+            {
+                label: class_totals[label] - presence.get(label, 0)
+                for label in class_totals
+            }
+        )
+        p_present = present_total / n
+        conditional = p_present * _entropy_from_counter(presence) + (
+            1 - p_present
+        ) * _entropy_from_counter(absent)
+        scores.append(FeatureScore(feature, max(h_y - conditional, 0.0)))
+    return sorted(scores, key=lambda s: (-s.score, s.feature))
+
+
+def mutual_information_scores(
+    documents: Sequence[Sequence[str]], labels: Sequence[int]
+) -> list[FeatureScore]:
+    """Pointwise MI of feature presence with the *positive* class (label 1).
+
+    The classic text-categorization MI: log p(f, c) / (p(f) p(c)).
+    """
+    by_feature, class_totals, n = _presence_counts(documents, labels)
+    if n == 0 or 1 not in class_totals:
+        return []
+    p_class = class_totals[1] / n
+    scores = []
+    for feature, presence in by_feature.items():
+        p_feature = sum(presence.values()) / n
+        p_joint = presence.get(1, 0) / n
+        if p_joint == 0 or p_feature == 0:
+            score = float("-inf")
+        else:
+            score = math.log2(p_joint / (p_feature * p_class))
+        scores.append(FeatureScore(feature, score))
+    return sorted(scores, key=lambda s: (-s.score, s.feature))
+
+
+def select_top_k(scores: list[FeatureScore], k: int) -> set[str]:
+    """The top-k feature names from a ranked score list."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return {score.feature for score in scores[:k]}
+
+
+def _entropy_from_counter(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total <= 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        if count <= 0:
+            continue
+        p = count / total
+        result -= p * math.log2(p)
+    return result

@@ -1,0 +1,125 @@
+"""Bag-of-words vectorizer over abstracted feature tokens.
+
+Turns token sequences (produced by
+:func:`repro.features.abstraction.abstract_tokens`) into sparse count or
+binary matrices for the classifiers in :mod:`repro.ml`.  The vocabulary
+is fixed at :meth:`Vectorizer.fit` time; unseen tokens at transform time
+are ignored, the standard open-vocabulary behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass(frozen=True)
+class VectorizerConfig:
+    """Vectorizer knobs.
+
+    min_df: drop features seen in fewer documents.
+    binary: 0/1 presence instead of counts.
+    max_features: keep only the most document-frequent features.
+    ngram_range: (lo, hi) word n-gram sizes; (1, 2) adds bigrams such
+        as ``new_ceo`` alongside the unigrams.
+    """
+
+    min_df: int = 1
+    binary: bool = False
+    max_features: int | None = None
+    ngram_range: tuple[int, int] = (1, 1)
+
+
+class Vectorizer:
+    """Fit a vocabulary, then map token lists to CSR matrices."""
+
+    def __init__(self, config: VectorizerConfig | None = None) -> None:
+        self.config = config or VectorizerConfig()
+        self.vocabulary: dict[str, int] = {}
+        self._fitted = False
+
+    @property
+    def n_features(self) -> int:
+        return len(self.vocabulary)
+
+    def _expand(self, tokens: Sequence[str]) -> list[str]:
+        """Emit the configured n-grams for one token sequence."""
+        lo, hi = self.config.ngram_range
+        if (lo, hi) == (1, 1):
+            return list(tokens)
+        expanded: list[str] = []
+        for n in range(lo, hi + 1):
+            if n == 1:
+                expanded.extend(tokens)
+                continue
+            for start in range(len(tokens) - n + 1):
+                expanded.append("_".join(tokens[start : start + n]))
+        return expanded
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "Vectorizer":
+        """Build the vocabulary from training documents."""
+        if self.config.min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        lo, hi = self.config.ngram_range
+        if not 1 <= lo <= hi:
+            raise ValueError("ngram_range must satisfy 1 <= lo <= hi")
+        document_frequency: Counter = Counter()
+        for tokens in documents:
+            document_frequency.update(set(self._expand(tokens)))
+        kept = [
+            (feature, df)
+            for feature, df in document_frequency.items()
+            if df >= self.config.min_df
+        ]
+        # Highest-df first makes truncation by max_features meaningful;
+        # alphabetical tie-break keeps the mapping deterministic.
+        kept.sort(key=lambda item: (-item[1], item[0]))
+        if self.config.max_features is not None:
+            kept = kept[: self.config.max_features]
+        self.vocabulary = {
+            feature: index
+            for index, (feature, _) in enumerate(sorted(kept))
+        }
+        self._fitted = True
+        return self
+
+    def transform(
+        self, documents: Sequence[Sequence[str]]
+    ) -> sparse.csr_matrix:
+        """Map token lists to a (n_docs, n_features) sparse matrix."""
+        if not self._fitted:
+            raise RuntimeError("vectorizer must be fit before transform")
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for row, tokens in enumerate(documents):
+            counts = Counter(
+                self.vocabulary[token]
+                for token in self._expand(tokens)
+                if token in self.vocabulary
+            )
+            for col, count in counts.items():
+                rows.append(row)
+                cols.append(col)
+                data.append(1.0 if self.config.binary else float(count))
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(documents), self.n_features),
+            dtype=np.float64,
+        )
+
+    def fit_transform(
+        self, documents: Sequence[Sequence[str]]
+    ) -> sparse.csr_matrix:
+        return self.fit(documents).transform(documents)
+
+    def feature_names(self) -> list[str]:
+        """Feature names ordered by column index."""
+        names = [""] * self.n_features
+        for feature, index in self.vocabulary.items():
+            names[index] = feature
+        return names

@@ -1,0 +1,127 @@
+"""Web content monitoring: page-change detection (eShopMonitor [2]).
+
+The paper's data-gathering component is built on eShopMonitor, "a web
+content monitoring tool": it re-fetches known pages, detects which
+changed, and extracts what is new.  :class:`PageMonitor` implements
+that: it fingerprints each page's sentences, and on re-observation
+reports the page-level change plus the *new sentences* — the exact
+payload ETAP wants, since fresh sentences are where fresh trigger
+events live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.corpus.web import SyntheticWeb
+from repro.text.sentences import split_sentence_texts
+
+
+def _sentence_fingerprints(text: str) -> dict[str, str]:
+    """sentence-hash -> sentence, preserving one entry per distinct
+    sentence."""
+    fingerprints: dict[str, str] = {}
+    for sentence in split_sentence_texts(text):
+        digest = hashlib.sha256(
+            " ".join(sentence.lower().split()).encode("utf-8")
+        ).hexdigest()
+        fingerprints[digest] = sentence
+    return fingerprints
+
+
+@dataclass(frozen=True)
+class PageChange:
+    """One observed page change."""
+
+    url: str
+    kind: str  # "new" | "modified" | "removed"
+    new_sentences: tuple[str, ...] = ()
+    removed_sentences: int = 0
+
+
+@dataclass
+class ObservationReport:
+    """Outcome of one monitoring sweep."""
+
+    observed: int = 0
+    changes: list[PageChange] = field(default_factory=list)
+
+    @property
+    def new_pages(self) -> list[PageChange]:
+        return [c for c in self.changes if c.kind == "new"]
+
+    @property
+    def modified_pages(self) -> list[PageChange]:
+        return [c for c in self.changes if c.kind == "modified"]
+
+    @property
+    def removed_pages(self) -> list[PageChange]:
+        return [c for c in self.changes if c.kind == "removed"]
+
+    def all_new_sentences(self) -> list[str]:
+        return [
+            sentence
+            for change in self.changes
+            for sentence in change.new_sentences
+        ]
+
+
+class PageMonitor:
+    """Tracks page content across observations of a set of URLs."""
+
+    def __init__(self, web: SyntheticWeb) -> None:
+        self.web = web
+        self._known: dict[str, dict[str, str]] = {}
+
+    @property
+    def tracked_urls(self) -> list[str]:
+        return list(self._known)
+
+    def observe(self, urls: list[str] | None = None) -> ObservationReport:
+        """Fetch ``urls`` (default: every tracked URL plus any new ones
+        passed explicitly) and report changes since last observation."""
+        if urls is None:
+            urls = self.tracked_urls
+        report = ObservationReport()
+        for url in urls:
+            report.observed += 1
+            if not self.web.has(url):
+                if url in self._known:
+                    report.changes.append(
+                        PageChange(url=url, kind="removed")
+                    )
+                    del self._known[url]
+                continue
+            fingerprints = _sentence_fingerprints(
+                self.web.fetch(url).text
+            )
+            previous = self._known.get(url)
+            if previous is None:
+                report.changes.append(
+                    PageChange(
+                        url=url,
+                        kind="new",
+                        new_sentences=tuple(fingerprints.values()),
+                    )
+                )
+            else:
+                added = {
+                    digest: sentence
+                    for digest, sentence in fingerprints.items()
+                    if digest not in previous
+                }
+                removed = sum(
+                    1 for digest in previous if digest not in fingerprints
+                )
+                if added or removed:
+                    report.changes.append(
+                        PageChange(
+                            url=url,
+                            kind="modified",
+                            new_sentences=tuple(added.values()),
+                            removed_sentences=removed,
+                        )
+                    )
+            self._known[url] = fingerprints
+        return report

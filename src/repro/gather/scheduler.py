@@ -1,0 +1,112 @@
+"""Adaptive revisit scheduling for the monitoring crawler.
+
+A monitoring tool cannot re-fetch every page every cycle.  The classic
+policy (used by production monitors like the paper's eShopMonitor):
+track each page's observed change behaviour and revisit frequently
+changing pages more often.  Multiplicative adaptation — halve the
+revisit interval when a change is observed, grow it when the page is
+unchanged — bounded to [min_interval, max_interval] ticks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass
+class _Entry:
+    interval: float
+    next_due: float
+
+
+class RevisitScheduler:
+    """Per-URL adaptive revisit intervals over integer ticks."""
+
+    def __init__(
+        self,
+        min_interval: float = 1.0,
+        max_interval: float = 64.0,
+        initial_interval: float = 4.0,
+        grow_factor: float = 1.5,
+        shrink_factor: float = 0.5,
+    ) -> None:
+        if not 0 < min_interval <= initial_interval <= max_interval:
+            raise ValueError(
+                "need 0 < min_interval <= initial_interval "
+                "<= max_interval"
+            )
+        if grow_factor <= 1.0:
+            raise ValueError("grow_factor must exceed 1")
+        if not 0 < shrink_factor < 1.0:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.initial_interval = initial_interval
+        self.grow_factor = grow_factor
+        self.shrink_factor = shrink_factor
+        self._entries: dict[str, _Entry] = {}
+        self._heap: list[tuple[float, int, str]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def track(self, url: str) -> None:
+        """Start tracking a URL; due immediately."""
+        if url in self._entries:
+            return
+        entry = _Entry(interval=self.initial_interval, next_due=self.now)
+        self._entries[url] = entry
+        heapq.heappush(
+            self._heap, (entry.next_due, next(self._counter), url)
+        )
+
+    def forget(self, url: str) -> None:
+        """Stop tracking a URL (lazy removal from the queue)."""
+        self._entries.pop(url, None)
+
+    def due(self, budget: int) -> list[str]:
+        """Advance one tick and pop up to ``budget`` due URLs."""
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.now += 1.0
+        popped: list[str] = []
+        while self._heap and len(popped) < budget:
+            next_due, _, url = self._heap[0]
+            if next_due > self.now:
+                break
+            heapq.heappop(self._heap)
+            if url not in self._entries:
+                continue  # forgotten
+            if url in popped:
+                continue  # stale duplicate queue entry
+            popped.append(url)
+        return popped
+
+    def report(self, url: str, changed: bool) -> float:
+        """Feed back an observation; returns the new interval."""
+        entry = self._entries.get(url)
+        if entry is None:
+            raise KeyError(f"{url!r} is not tracked")
+        if changed:
+            entry.interval = max(
+                self.min_interval, entry.interval * self.shrink_factor
+            )
+        else:
+            entry.interval = min(
+                self.max_interval, entry.interval * self.grow_factor
+            )
+        entry.next_due = self.now + entry.interval
+        heapq.heappush(
+            self._heap, (entry.next_due, next(self._counter), url)
+        )
+        return entry.interval
+
+    def interval_of(self, url: str) -> float:
+        return self._entries[url].interval

@@ -1,0 +1,143 @@
+"""Document store for the data-gathering component.
+
+ETAP's data-gathering component [2] accumulates documents from crawls and
+proprietary corpora into a collection *D*.  This store provides the
+database half of that component: content-hash deduplication (crawls
+re-fetch the same page; mirrors host identical articles), stable insert
+order, lookup by id/url, and JSONL persistence so a gathered collection
+can be saved and reloaded between pipeline stages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """A document as held by the store."""
+
+    doc_id: str
+    url: str
+    title: str
+    text: str
+    metadata: dict = field(default_factory=dict)
+
+
+def content_hash(text: str) -> str:
+    """Stable fingerprint of document content for deduplication."""
+    normalized = " ".join(text.split()).lower()
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+class DuplicateDocumentError(ValueError):
+    """Raised by :meth:`DocumentStore.add` in strict mode on duplicates."""
+
+
+class DocumentStore:
+    """In-memory document collection with dedup and JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, StoredDocument] = {}
+        self._by_url: dict[str, str] = {}
+        self._hashes: dict[str, str] = {}
+        self._order: list[str] = []
+
+    # -- writes ---------------------------------------------------------------
+
+    def add(
+        self,
+        document: StoredDocument,
+        strict: bool = False,
+    ) -> bool:
+        """Add a document; returns True if stored, False if deduplicated.
+
+        Duplicates (same id, same url, or same content hash) are skipped,
+        or raise :class:`DuplicateDocumentError` when ``strict``.
+        """
+        fingerprint = content_hash(document.text)
+        duplicate_of = None
+        if document.doc_id in self._by_id:
+            duplicate_of = document.doc_id
+        elif document.url and document.url in self._by_url:
+            duplicate_of = self._by_url[document.url]
+        elif fingerprint in self._hashes:
+            duplicate_of = self._hashes[fingerprint]
+        if duplicate_of is not None:
+            if strict:
+                raise DuplicateDocumentError(
+                    f"{document.doc_id} duplicates {duplicate_of}"
+                )
+            return False
+        self._by_id[document.doc_id] = document
+        if document.url:
+            self._by_url[document.url] = document.doc_id
+        self._hashes[fingerprint] = document.doc_id
+        self._order.append(document.doc_id)
+        return True
+
+    def add_many(self, documents: Iterable[StoredDocument]) -> int:
+        """Add documents; returns how many were actually stored."""
+        return sum(1 for document in documents if self.add(document))
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, doc_id: str) -> StoredDocument:
+        return self._by_id[doc_id]
+
+    def get_by_url(self, url: str) -> StoredDocument:
+        return self._by_id[self._by_url[url]]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return (self._by_id[doc_id] for doc_id in self._order)
+
+    def doc_ids(self) -> list[str]:
+        return list(self._order)
+
+    # -- persistence --------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the collection to a JSON-lines file."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for document in self:
+                record = {
+                    "doc_id": document.doc_id,
+                    "url": document.url,
+                    "title": document.title,
+                    "text": document.text,
+                    "metadata": document.metadata,
+                }
+                handle.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "DocumentStore":
+        """Load a collection previously written by :meth:`save_jsonl`."""
+        store = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                store.add(
+                    StoredDocument(
+                        doc_id=record["doc_id"],
+                        url=record.get("url", ""),
+                        title=record.get("title", ""),
+                        text=record["text"],
+                        metadata=record.get("metadata", {}),
+                    )
+                )
+        return store

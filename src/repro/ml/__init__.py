@@ -1,0 +1,74 @@
+"""From-scratch ML: NB, SVM, logistic regression, EM-NB, noise handling."""
+
+from repro.ml.base import Classifier, check_fit_inputs
+from repro.ml.calibration import (
+    PlattScaler,
+    ReliabilityBin,
+    brier_score,
+    expected_calibration_error,
+    reliability_bins,
+)
+from repro.ml.em_nb import EmNaiveBayes
+from repro.ml.ensemble import VotingEnsemble
+from repro.ml.logreg import LogisticRegression, fit_pu_weighted
+from repro.ml.model_selection import (
+    CvResult,
+    GridSearchResult,
+    cross_validate_f1,
+    grid_search,
+    stratified_kfold_indices,
+)
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    PrecisionRecallF1,
+    accuracy,
+    average_precision,
+    confusion_matrix,
+    mean_reciprocal_rank,
+    precision_at_k,
+    precision_recall_f1,
+    reciprocal_rank,
+)
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+from repro.ml.noise import (
+    DenoiseIteration,
+    DenoiseResult,
+    IterativeNoiseReducer,
+    brodley_friedl_filter,
+)
+from repro.ml.svm import LinearSvm
+
+__all__ = [
+    "BernoulliNaiveBayes",
+    "Classifier",
+    "ConfusionMatrix",
+    "CvResult",
+    "DenoiseIteration",
+    "DenoiseResult",
+    "EmNaiveBayes",
+    "GridSearchResult",
+    "IterativeNoiseReducer",
+    "LinearSvm",
+    "LogisticRegression",
+    "MultinomialNaiveBayes",
+    "PlattScaler",
+    "PrecisionRecallF1",
+    "ReliabilityBin",
+    "VotingEnsemble",
+    "accuracy",
+    "brier_score",
+    "average_precision",
+    "brodley_friedl_filter",
+    "check_fit_inputs",
+    "confusion_matrix",
+    "cross_validate_f1",
+    "expected_calibration_error",
+    "fit_pu_weighted",
+    "grid_search",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "precision_recall_f1",
+    "reciprocal_rank",
+    "reliability_bins",
+    "stratified_kfold_indices",
+]

@@ -1,0 +1,103 @@
+"""EM with naive Bayes over labeled + unlabeled data (Nigam et al. [10]).
+
+The paper cites "Using EM to classify text from labeled and unlabeled
+documents" as one of the classifiers usable once training data exists.
+The algorithm: train NB on the labeled set; E-step: soft-label the
+unlabeled documents with class posteriors; M-step: retrain NB on labeled
+plus fractionally-weighted unlabeled documents; iterate to convergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.ml.base import check_is_fitted
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+
+class EmNaiveBayes:
+    """Semi-supervised multinomial NB via expectation-maximization."""
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        max_iter: int = 10,
+        tol: float = 1e-4,
+        unlabeled_weight: float = 1.0,
+    ) -> None:
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        if not 0 < unlabeled_weight <= 1:
+            raise ValueError("unlabeled_weight must be in (0, 1]")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+        self.unlabeled_weight = unlabeled_weight
+        self._fitted = False
+        self.model_: MultinomialNaiveBayes | None = None
+        self.n_iter_: int = 0
+
+    def fit(
+        self,
+        X_labeled: sparse.spmatrix,
+        y_labeled: np.ndarray,
+        X_unlabeled: sparse.spmatrix | None = None,
+    ) -> "EmNaiveBayes":
+        X_labeled = sparse.csr_matrix(X_labeled)
+        y_labeled = np.asarray(y_labeled, dtype=np.int64)
+        model = MultinomialNaiveBayes(alpha=self.alpha)
+        model.fit(X_labeled, y_labeled)
+
+        if X_unlabeled is None or X_unlabeled.shape[0] == 0:
+            self.model_ = model
+            self.n_iter_ = 0
+            self._fitted = True
+            return self
+
+        X_unlabeled = sparse.csr_matrix(X_unlabeled)
+        X_all = sparse.vstack([X_labeled, X_unlabeled])
+        n_labeled = X_labeled.shape[0]
+        n_unlabeled = X_unlabeled.shape[0]
+        previous = None
+        for iteration in range(1, self.max_iter + 1):
+            # E-step: posterior responsibility of class 1 on unlabeled docs.
+            posterior = model.predict_proba(X_unlabeled)[:, 1]
+            self.n_iter_ = iteration
+            if previous is not None:
+                shift = float(np.abs(posterior - previous).mean())
+                if shift < self.tol:
+                    break
+            previous = posterior
+
+            # M-step: duplicate the unlabeled block once per class with
+            # fractional weights equal to the responsibilities.
+            X_em = sparse.vstack([X_all, X_unlabeled])
+            y_em = np.concatenate(
+                [
+                    y_labeled,
+                    np.ones(n_unlabeled, dtype=np.int64),
+                    np.zeros(n_unlabeled, dtype=np.int64),
+                ]
+            )
+            weights = np.concatenate(
+                [
+                    np.ones(n_labeled),
+                    self.unlabeled_weight * posterior,
+                    self.unlabeled_weight * (1.0 - posterior),
+                ]
+            )
+            model = MultinomialNaiveBayes(alpha=self.alpha)
+            model.fit(X_em, y_em, sample_weight=weights)
+
+        self.model_ = model
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: sparse.spmatrix) -> np.ndarray:
+        check_is_fitted(self._fitted, "EmNaiveBayes")
+        return self.model_.predict_proba(X)
+
+    def predict(self, X: sparse.spmatrix) -> np.ndarray:
+        check_is_fitted(self._fitted, "EmNaiveBayes")
+        return self.model_.predict(X)

@@ -1,0 +1,79 @@
+"""Soft-voting ensemble over heterogeneous classifiers.
+
+Averaging the posteriors of diverse models (multinomial NB, Bernoulli
+NB, linear SVM) smooths each family's failure modes; the ensemble plugs
+into the iterative denoiser anywhere a single classifier does — it
+exposes the same ``fit``/``predict``/``predict_proba`` surface and
+forwards ``sample_weight`` to members that accept it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.ml.base import check_is_fitted
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+from repro.ml.svm import LinearSvm
+
+
+class VotingEnsemble:
+    """Weighted average of member ``predict_proba`` outputs."""
+
+    def __init__(
+        self,
+        member_factories: Sequence[Callable[[], object]] | None = None,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if member_factories is None:
+            member_factories = [
+                MultinomialNaiveBayes,
+                BernoulliNaiveBayes,
+                lambda: LinearSvm(epochs=3),
+            ]
+        if not member_factories:
+            raise ValueError("ensemble needs at least one member")
+        if weights is not None:
+            if len(weights) != len(member_factories):
+                raise ValueError("weights must match member count")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError(
+                    "weights must be non-negative with positive sum"
+                )
+        self.member_factories = list(member_factories)
+        self.weights = (
+            list(weights)
+            if weights is not None
+            else [1.0] * len(member_factories)
+        )
+        self.members_: list[object] = []
+        self._fitted = False
+
+    def fit(
+        self,
+        X: sparse.spmatrix,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "VotingEnsemble":
+        self.members_ = []
+        for factory in self.member_factories:
+            member = factory()
+            try:
+                member.fit(X, y, sample_weight=sample_weight)
+            except TypeError:
+                member.fit(X, y)
+            self.members_.append(member)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: sparse.spmatrix) -> np.ndarray:
+        check_is_fitted(self._fitted, "VotingEnsemble")
+        total = np.zeros((X.shape[0], 2))
+        for member, weight in zip(self.members_, self.weights):
+            total += weight * member.predict_proba(X)
+        return total / sum(self.weights)
+
+    def predict(self, X: sparse.spmatrix) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)

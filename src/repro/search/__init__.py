@@ -1,0 +1,37 @@
+"""Search substrate: inverted index, ranking, engine, focused crawler."""
+
+from repro.search.crawler import (
+    BUSINESS_KEYWORDS,
+    CrawlResult,
+    FocusedCrawler,
+    business_relevance,
+)
+from repro.search.engine import (
+    ParsedQuery,
+    SearchEngine,
+    SearchResult,
+    build_engine_from_pairs,
+    parse_query,
+)
+from repro.search.index import InvertedIndex, Posting, normalize_term
+from repro.search.scoring import Bm25, TfIdf
+from repro.search.snippeting import ResultSnippet, best_snippet
+
+__all__ = [
+    "BUSINESS_KEYWORDS",
+    "Bm25",
+    "CrawlResult",
+    "FocusedCrawler",
+    "InvertedIndex",
+    "ParsedQuery",
+    "Posting",
+    "ResultSnippet",
+    "SearchEngine",
+    "SearchResult",
+    "TfIdf",
+    "best_snippet",
+    "build_engine_from_pairs",
+    "business_relevance",
+    "normalize_term",
+    "parse_query",
+]

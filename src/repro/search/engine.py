@@ -1,0 +1,137 @@
+"""Ranked search engine over an indexed corpus (the "Google" substitute).
+
+Supports the query shapes ETAP's training-data generation uses
+(section 3.3.1):
+
+* quoted phrases — ``'"new ceo"'`` restricts results to documents that
+  contain the exact phrase, mirroring quoted Google queries;
+* plain keyword queries — ``'mergers and acquisitions'`` ranks by BM25
+  over all terms (the paper's example of a *naive* query whose result
+  list is noisy);
+* mixed queries — phrases and loose keywords combine; phrase matches are
+  required, keywords contribute to the ranking.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.search.index import InvertedIndex, normalize_term
+from repro.search.scoring import Bm25, RankingFunction
+from repro.text.tokenizer import tokenize_words
+
+_PHRASE_RE = re.compile(r'"([^"]+)"')
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One ranked hit."""
+
+    doc_key: str
+    score: float
+    title: str
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A query split into exact phrases and loose terms."""
+
+    phrases: tuple[tuple[str, ...], ...]
+    terms: tuple[str, ...]
+
+    @property
+    def all_terms(self) -> tuple[str, ...]:
+        flat = [term for phrase in self.phrases for term in phrase]
+        return tuple(flat) + self.terms
+
+
+def parse_query(query: str) -> ParsedQuery:
+    """Split a query string into quoted phrases and remaining keywords."""
+    phrases: list[tuple[str, ...]] = []
+    remainder = query
+    for match in _PHRASE_RE.finditer(query):
+        words = tuple(
+            normalize_term(word) for word in tokenize_words(match.group(1))
+        )
+        if words:
+            phrases.append(words)
+    remainder = _PHRASE_RE.sub(" ", remainder)
+    terms = tuple(
+        normalize_term(word)
+        for word in tokenize_words(remainder)
+        if word.isalnum()
+    )
+    return ParsedQuery(tuple(phrases), terms)
+
+
+class SearchEngine:
+    """BM25-ranked retrieval with phrase constraints."""
+
+    def __init__(
+        self,
+        index: InvertedIndex | None = None,
+        ranking: RankingFunction | None = None,
+        phrase_boost: float = 2.0,
+    ) -> None:
+        self.index = index or InvertedIndex()
+        self.ranking = ranking or Bm25()
+        self.phrase_boost = phrase_boost
+
+    def add_document(self, doc_key: str, text: str, title: str = "") -> None:
+        self.index.add_document(doc_key, text, title)
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
+        """Run ``query`` and return the ``top_k`` ranked results."""
+        parsed = parse_query(query)
+        if not parsed.all_terms:
+            return []
+
+        candidates: set[str] | None = None
+        phrase_hits: dict[str, float] = {}
+        for phrase in parsed.phrases:
+            matches = self.index.phrase_docs(list(phrase))
+            if candidates is None:
+                candidates = set(matches)
+            else:
+                candidates &= set(matches)
+            for doc_key, count in matches.items():
+                phrase_hits[doc_key] = (
+                    phrase_hits.get(doc_key, 0.0)
+                    + self.phrase_boost * count
+                )
+        if parsed.phrases and not candidates:
+            return []
+
+        scores: dict[str, float] = {}
+        for term in parsed.all_terms:
+            for doc_key, posting in self.index.postings(term).items():
+                if candidates is not None and doc_key not in candidates:
+                    continue
+                scores[doc_key] = scores.get(doc_key, 0.0) + (
+                    self.ranking.score_term(
+                        self.index, term, doc_key, posting.term_frequency
+                    )
+                )
+        for doc_key, bonus in phrase_hits.items():
+            if candidates is None or doc_key in candidates:
+                scores[doc_key] = scores.get(doc_key, 0.0) + bonus
+
+        ranked = sorted(
+            scores.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            SearchResult(doc_key, score, self.index.title(doc_key))
+            for doc_key, score in ranked[:top_k]
+        ]
+
+
+def build_engine_from_pairs(
+    pairs: list[tuple[str, str]],
+    ranking: RankingFunction | None = None,
+) -> SearchEngine:
+    """Build an engine from ``(doc_key, text)`` pairs."""
+    engine = SearchEngine(ranking=ranking)
+    for doc_key, text in pairs:
+        engine.add_document(doc_key, text)
+    return engine

@@ -1,0 +1,169 @@
+"""Inverted index over the synthetic web.
+
+The index stores, per term, a postings list of ``(doc_key, positions)``
+so the engine can answer both ranked bag-of-words queries and exact
+phrase queries (the paper's *smart queries* such as ``"new ceo"`` and
+``"IBM Daksh"`` are phrase queries).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.text.tokenizer import tokenize_words
+
+
+def normalize_term(term: str) -> str:
+    """Case-fold a query/document term for indexing."""
+    return term.lower()
+
+
+@dataclass
+class Posting:
+    """Occurrences of one term in one document."""
+
+    doc_key: str
+    positions: list[int] = field(default_factory=list)
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+
+class InvertedIndex:
+    """Positional inverted index with incremental document addition."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, Posting]] = defaultdict(dict)
+        self._doc_lengths: dict[str, int] = {}
+        self._titles: dict[str, str] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_document(self, doc_key: str, text: str, title: str = "") -> None:
+        """Index one document; re-adding a key replaces it."""
+        if doc_key in self._doc_lengths:
+            self.remove_document(doc_key)
+        terms = [normalize_term(word) for word in tokenize_words(text)]
+        self._doc_lengths[doc_key] = len(terms)
+        self._titles[doc_key] = title
+        for position, term in enumerate(terms):
+            per_doc = self._postings[term]
+            posting = per_doc.get(doc_key)
+            if posting is None:
+                posting = Posting(doc_key)
+                per_doc[doc_key] = posting
+            posting.positions.append(position)
+
+    def remove_document(self, doc_key: str) -> None:
+        """Drop one document from the index (no-op if absent)."""
+        if doc_key not in self._doc_lengths:
+            return
+        del self._doc_lengths[doc_key]
+        self._titles.pop(doc_key, None)
+        empty_terms = []
+        for term, per_doc in self._postings.items():
+            per_doc.pop(doc_key, None)
+            if not per_doc:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def n_docs(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def total_terms(self) -> int:
+        return sum(self._doc_lengths.values())
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return self.total_terms / self.n_docs
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(normalize_term(term), {}))
+
+    def doc_length(self, doc_key: str) -> int:
+        return self._doc_lengths.get(doc_key, 0)
+
+    def title(self, doc_key: str) -> str:
+        return self._titles.get(doc_key, "")
+
+    def doc_keys(self) -> list[str]:
+        return list(self._doc_lengths)
+
+    # -- lookups ------------------------------------------------------------
+
+    def postings(self, term: str) -> dict[str, Posting]:
+        """All postings for a term (empty dict if unseen)."""
+        return self._postings.get(normalize_term(term), {})
+
+    # -- persistence ----------------------------------------------------------
+
+    def save_json(self, path: str | Path) -> None:
+        """Write the full index (postings, lengths, titles) to JSON."""
+        record = {
+            "doc_lengths": self._doc_lengths,
+            "titles": self._titles,
+            "postings": {
+                term: {
+                    doc_key: posting.positions
+                    for doc_key, posting in per_doc.items()
+                }
+                for term, per_doc in self._postings.items()
+            },
+        }
+        Path(path).write_text(json.dumps(record), encoding="utf-8")
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "InvertedIndex":
+        """Load an index written by :meth:`save_json`."""
+        record = json.loads(Path(path).read_text(encoding="utf-8"))
+        index = cls()
+        index._doc_lengths = dict(record["doc_lengths"])
+        index._titles = dict(record["titles"])
+        for term, per_doc in record["postings"].items():
+            index._postings[term] = {
+                doc_key: Posting(doc_key, list(positions))
+                for doc_key, positions in per_doc.items()
+            }
+        return index
+
+    def phrase_docs(self, phrase: list[str]) -> dict[str, int]:
+        """Documents containing ``phrase`` as consecutive terms.
+
+        Returns ``doc_key -> occurrence count``.  Implemented by
+        intersecting positional postings.
+        """
+        if not phrase:
+            return {}
+        terms = [normalize_term(term) for term in phrase]
+        first = self.postings(terms[0])
+        if len(terms) == 1:
+            return {key: p.term_frequency for key, p in first.items()}
+        result: dict[str, int] = {}
+        rest = [self.postings(term) for term in terms[1:]]
+        for doc_key, posting in first.items():
+            if any(doc_key not in per_doc for per_doc in rest):
+                continue
+            count = 0
+            follower_positions = [
+                set(per_doc[doc_key].positions) for per_doc in rest
+            ]
+            for position in posting.positions:
+                if all(
+                    position + offset + 1 in positions
+                    for offset, positions in enumerate(follower_positions)
+                ):
+                    count += 1
+            if count:
+                result[doc_key] = count
+        return result

@@ -1,0 +1,81 @@
+"""Query-biased result snippets, as a search-results page shows them.
+
+Figure 5 of the paper is literally a Google results snippet for the
+query ``"new ceo"``; this module produces the equivalent for our
+engine: the contiguous window of sentences that best matches the query,
+with matched terms highlighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.engine import parse_query
+from repro.text.sentences import split_sentence_texts
+from repro.text.tokenizer import tokenize_words
+
+
+@dataclass(frozen=True, slots=True)
+class ResultSnippet:
+    """The best window of a document for one query."""
+
+    text: str
+    score: float
+    highlighted: str
+
+
+def _sentence_score(sentence: str, terms: set[str],
+                    phrases: list[tuple[str, ...]]) -> float:
+    words = [word.lower() for word in tokenize_words(sentence)]
+    score = float(sum(word in terms for word in words))
+    for phrase in phrases:
+        n = len(phrase)
+        for start in range(len(words) - n + 1):
+            if tuple(words[start : start + n]) == phrase:
+                score += 2.0 * n  # exact phrase hits dominate
+    return score
+
+
+def _highlight(text: str, terms: set[str]) -> str:
+    pieces = []
+    for word in text.split():
+        stripped = word.strip(".,;:!?\"'()").lower()
+        pieces.append(f"**{word}**" if stripped in terms else word)
+    return " ".join(pieces)
+
+
+def best_snippet(
+    document_text: str,
+    query: str,
+    window: int = 2,
+) -> ResultSnippet:
+    """The highest-scoring ``window``-sentence span for the query.
+
+    Scores each contiguous sentence window by query-term hits (phrase
+    matches weighted up); ties go to the earliest window, like a
+    results page leaning toward the lead.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    parsed = parse_query(query)
+    terms = set(parsed.all_terms)
+    phrases = [tuple(phrase) for phrase in parsed.phrases]
+    sentences = split_sentence_texts(document_text)
+    if not sentences:
+        return ResultSnippet(text="", score=0.0, highlighted="")
+
+    best_start, best_score = 0, -1.0
+    for start in range(max(len(sentences) - window + 1, 1)):
+        span = sentences[start : start + window]
+        score = sum(
+            _sentence_score(sentence, terms, phrases)
+            for sentence in span
+        )
+        if score > best_score:
+            best_start, best_score = start, score
+    text = " ".join(sentences[best_start : best_start + window])
+    return ResultSnippet(
+        text=text,
+        score=best_score,
+        highlighted=_highlight(text, terms),
+    )

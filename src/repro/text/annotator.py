@@ -1,0 +1,87 @@
+"""Combined annotation pipeline: tokens -> POS tags + named entities.
+
+This is the "annotator" box of Figure 2 in the paper.  Every token in a
+snippet receives exactly one *abstraction category*: the entity label if
+the named-entity recognizer claimed the token, otherwise its
+part-of-speech tag ("Any entity that did not fall in the above categories
+was assigned a part-of-speech category", section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.ner import Entity, NamedEntityRecognizer, NerConfig
+from repro.text.pos import TaggedToken, tag_tokens
+from repro.text.tokenizer import Token, tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedToken:
+    """A token with its part-of-speech tag and (optional) entity label.
+
+    ``category`` is the abstraction category the token contributes to:
+    the entity label when inside an entity span, else the POS tag.
+    """
+
+    text: str
+    pos: str
+    entity: str | None
+
+    @property
+    def category(self) -> str:
+        return self.entity if self.entity is not None else self.pos
+
+
+@dataclass(frozen=True)
+class AnnotatedText:
+    """A fully annotated piece of text (typically one snippet)."""
+
+    text: str
+    tokens: tuple[AnnotatedToken, ...]
+    entities: tuple[Entity, ...]
+
+    def entity_labels(self) -> set[str]:
+        """The set of entity categories present in this text."""
+        return {entity.label for entity in self.entities}
+
+    def words(self) -> list[str]:
+        return [token.text for token in self.tokens]
+
+
+class Annotator:
+    """Runs tokenization, POS tagging and NER over raw text."""
+
+    def __init__(self, ner_config: NerConfig | None = None) -> None:
+        self._ner = NamedEntityRecognizer(ner_config)
+
+    def annotate(self, text: str) -> AnnotatedText:
+        tokens = tokenize(text)
+        tagged = tag_tokens(tokens)
+        entities = self._ner.recognize_tokens(tokens)
+        return AnnotatedText(
+            text=text,
+            tokens=tuple(_merge(tagged, entities)),
+            entities=tuple(entities),
+        )
+
+    def annotate_many(self, texts: list[str]) -> list[AnnotatedText]:
+        return [self.annotate(text) for text in texts]
+
+
+def _merge(
+    tagged: list[TaggedToken], entities: list[Entity]
+) -> list[AnnotatedToken]:
+    """Attach entity labels to the tokens inside each entity span."""
+    label_by_index: dict[int, str] = {}
+    for entity in entities:
+        for index in range(entity.start, entity.end):
+            label_by_index[index] = entity.label
+    return [
+        AnnotatedToken(
+            text=item.text,
+            pos=item.tag,
+            entity=label_by_index.get(index),
+        )
+        for index, item in enumerate(tagged)
+    ]

@@ -1,0 +1,299 @@
+"""Named-entity recognizer emitting the paper's 13 entity categories.
+
+Section 3.2.1 lists the categories produced by the IBM annotator [11] that
+ETAP depends on:
+
+    ORG, DESIG, OBJ, TIM, PERIOD, CURRENCY, YEAR, PRCNT, PROD, PLC, PRSN,
+    LNGTH, CNT
+
+This recognizer reproduces them with a longest-match gazetteer layer
+(organizations, people, places, designations, products, objects) plus
+shape rules for the numeric/temporal categories.  Because the paper notes
+that *"the overall result of ETAP is heavily dependent on the accuracy of
+the named entity recognizer"*, the recognizer is deliberately imperfect in
+a controlled way: :class:`NerConfig.gazetteer_coverage` withholds a
+deterministic fraction of gazetteer entries (out-of-vocabulary names go
+unannotated, exactly as unknown companies did on the 2005 Web), and
+pattern rules pick up *some* but not all of the OOV entities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.corpus import vocab
+from repro.text.tokenizer import Token, tokenize
+
+#: The 13 entity categories from section 3.2.1, in the paper's order.
+ENTITY_CATEGORIES = (
+    "ORG", "DESIG", "OBJ", "TIM", "PERIOD", "CURRENCY", "YEAR", "PRCNT",
+    "PROD", "PLC", "PRSN", "LNGTH", "CNT",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """A recognized entity span.
+
+    ``start``/``end`` are token indices (end exclusive); ``text`` is the
+    surface string of the span.
+    """
+
+    label: str
+    start: int
+    end: int
+    text: str
+
+
+@dataclass(frozen=True)
+class NerConfig:
+    """Tuning knobs for the recognizer.
+
+    gazetteer_coverage:
+        Fraction of each gazetteer the recognizer actually knows.  Entries
+        are dropped deterministically (by hash), so the same entry is
+        always in or always out for a given coverage value.  1.0 means a
+        perfect dictionary; the default 0.9 leaves realistic gaps.
+    pattern_backoff:
+        Whether out-of-gazetteer entities may still be recognized by
+        shape patterns (honorific+TitleCase -> PRSN, TitleCase+legal
+        suffix -> ORG, known first name + surname -> PRSN).  Disabling
+        this models a recognizer with no generalization beyond its
+        dictionary — useful for the section 6 NER-quality ablation.
+    """
+
+    gazetteer_coverage: float = 0.9
+    pattern_backoff: bool = True
+
+
+def _keep_entry(entry: str, coverage: float) -> bool:
+    """Deterministic per-entry coin flip with probability ``coverage``."""
+    if coverage >= 1.0:
+        return True
+    if coverage <= 0.0:
+        return False
+    digest = hashlib.sha256(entry.lower().encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 2**32
+    return fraction < coverage
+
+
+class _Gazetteer:
+    """Longest-match lookup over multi-token entries."""
+
+    def __init__(self, entries: dict[str, str], coverage: float) -> None:
+        self._table: dict[tuple[str, ...], str] = {}
+        self.max_len = 1
+        for surface, label in entries.items():
+            if not _keep_entry(surface, coverage):
+                continue
+            key = tuple(surface.lower().split())
+            self._table[key] = label
+            self.max_len = max(self.max_len, len(key))
+
+    def lookup(self, tokens: list[str], index: int) -> tuple[str, int] | None:
+        """Longest entry starting at ``index``; returns (label, length).
+
+        Tokens are matched with trailing periods stripped, so the
+        abbreviation token ``Corp.`` matches the gazetteer entry
+        ``... Corp``.
+        """
+        limit = min(self.max_len, len(tokens) - index)
+        for length in range(limit, 0, -1):
+            key = tuple(
+                token.lower().rstrip(".")
+                for token in tokens[index : index + length]
+            )
+            label = self._table.get(key)
+            if label is not None:
+                return label, length
+        return None
+
+
+def _build_entries() -> dict[str, str]:
+    entries: dict[str, str] = {}
+    for name in vocab.ORGANIZATIONS:
+        entries[name] = "ORG"
+    for name in vocab.PEOPLE:
+        entries[name] = "PRSN"
+    for place in vocab.PLACES:
+        entries[place] = "PLC"
+    for designation in vocab.DESIGNATIONS:
+        entries[designation] = "DESIG"
+    for product in vocab.PRODUCTS:
+        entries[product] = "PROD"
+    for obj in vocab.OBJECTS:
+        entries[obj] = "OBJ"
+    for month in vocab.MONTHS:
+        entries[month] = "PERIOD"
+    for day in vocab.WEEKDAYS:
+        entries[day] = "PERIOD"
+    for quarter in vocab.QUARTERS:
+        entries[quarter] = "PERIOD"
+    return entries
+
+
+_PERIOD_PHRASES = {
+    ("last", "year"), ("this", "year"), ("next", "year"),
+    ("last", "quarter"), ("this", "quarter"), ("next", "quarter"),
+    ("last", "month"), ("this", "month"), ("next", "month"),
+    ("fiscal", "year"), ("later", "this", "year"), ("last", "week"),
+    ("earlier", "this", "year"), ("previous", "quarter"),
+    ("the", "fourth", "quarter"), ("the", "first", "quarter"),
+    ("the", "second", "quarter"), ("the", "third", "quarter"),
+}
+
+_TIME_SUFFIXES = {"am", "pm", "a.m", "p.m", "a.m.", "p.m."}
+
+
+def _is_year(text: str) -> bool:
+    return len(text) == 4 and text.isdigit() and 1900 <= int(text) <= 2099
+
+
+def _is_number(text: str) -> bool:
+    stripped = text.replace(",", "").replace(".", "", 1)
+    return bool(stripped) and stripped.isdigit()
+
+
+class NamedEntityRecognizer:
+    """Rule + gazetteer NER over tokenized text."""
+
+    def __init__(self, config: NerConfig | None = None) -> None:
+        self.config = config or NerConfig()
+        self._gazetteer = _Gazetteer(
+            _build_entries(), self.config.gazetteer_coverage
+        )
+        self._org_suffixes = {s.lower() for s in vocab.ORG_SUFFIXES} | {
+            "incorporated", "corporation", "limited", "company", "plc",
+            "gmbh",
+        }
+        self._honorifics = {h.lower() for h in vocab.HONORIFICS}
+        self._units = set()
+        for unit in vocab.MEASUREMENT_UNITS:
+            self._units.add(tuple(unit.lower().split()))
+        self._currency_units = {u.lower() for u in vocab.CURRENCY_UNITS}
+        self._first_names = {
+            name.lower()
+            for name in vocab.FIRST_NAMES
+            if _keep_entry(name, self.config.gazetteer_coverage)
+        }
+
+    # -- numeric / temporal shape rules ------------------------------------
+
+    def _match_shape(
+        self, words: list[str], index: int
+    ) -> tuple[str, int] | None:
+        text = words[index]
+        lower = text.lower()
+        nxt = words[index + 1].lower() if index + 1 < len(words) else ""
+        nxt2 = words[index + 2].lower() if index + 2 < len(words) else ""
+
+        if text.startswith("$") and len(text) > 1:
+            length = 2 if nxt in self._currency_units else 1
+            return "CURRENCY", length
+        if lower in {"usd", "eur", "gbp", "rs."} and _is_number(nxt):
+            length = 3 if nxt2 in self._currency_units else 2
+            return "CURRENCY", length
+        if text.endswith("%") and len(text) > 1:
+            return "PRCNT", 1
+        if _is_number(text):
+            if nxt == "percent" or nxt == "%":
+                return "PRCNT", 2
+            if nxt in self._currency_units and nxt2 in {
+                "dollars", "euros", "pounds", "rupees",
+            }:
+                return "CURRENCY", 3
+            if nxt in {"dollars", "euros", "pounds", "rupees"}:
+                return "CURRENCY", 2
+            if (nxt,) in self._units:
+                return "LNGTH", 2
+            if (nxt, nxt2) in self._units:
+                return "LNGTH", 3
+            if ":" == nxt and index + 2 < len(words) and _is_number(nxt2):
+                after = (
+                    words[index + 3].lower()
+                    if index + 3 < len(words)
+                    else ""
+                )
+                length = 4 if after in _TIME_SUFFIXES else 3
+                return "TIM", length
+            if nxt in _TIME_SUFFIXES:
+                return "TIM", 2
+            if _is_year(text):
+                return "YEAR", 1
+            return "CNT", 1
+
+        # Period phrases: "last year", "later this year", ...
+        for phrase in _PERIOD_PHRASES:
+            span = len(phrase)
+            candidate = tuple(
+                word.lower() for word in words[index : index + span]
+            )
+            if candidate == phrase:
+                return "PERIOD", span
+        return None
+
+    # -- pattern back-off for OOV names ------------------------------------
+
+    def _match_patterns(
+        self, words: list[str], index: int
+    ) -> tuple[str, int] | None:
+        text = words[index]
+        lower = text.lower()
+        # Honorific + TitleCase+ -> PRSN ("Mr. John Carter")
+        if lower in self._honorifics:
+            length = 1
+            while (
+                index + length < len(words)
+                and words[index + length][:1].isupper()
+                and words[index + length].isalpha()
+                and length <= 3
+            ):
+                length += 1
+            if length > 1:
+                return "PRSN", length
+        # Known first name + TitleCase surname -> PRSN ("Wei Novak")
+        if lower in self._first_names and index + 1 < len(words):
+            surname = words[index + 1]
+            if surname[:1].isupper() and surname.isalpha():
+                return "PRSN", 2
+        # TitleCase+ followed by a legal suffix -> ORG ("Foobar Widgets Inc")
+        if text[:1].isupper() and text.isalpha():
+            length = 1
+            while (
+                index + length < len(words)
+                and words[index + length][:1].isupper()
+                and words[index + length].rstrip(".").isalpha()
+                and length < 4
+            ):
+                suffix = words[index + length].lower().rstrip(".")
+                if suffix in self._org_suffixes:
+                    return "ORG", length + 1
+                length += 1
+        return None
+
+    # -- public API ---------------------------------------------------------
+
+    def recognize_tokens(self, tokens: list[Token]) -> list[Entity]:
+        """Recognize entities over a pre-tokenized text."""
+        words = [token.text for token in tokens]
+        entities: list[Entity] = []
+        index = 0
+        while index < len(words):
+            match = self._gazetteer.lookup(words, index)
+            if match is None:
+                match = self._match_shape(words, index)
+            if match is None and self.config.pattern_backoff:
+                match = self._match_patterns(words, index)
+            if match is None:
+                index += 1
+                continue
+            label, length = match
+            surface = " ".join(words[index : index + length])
+            entities.append(Entity(label, index, index + length, surface))
+            index += length
+        return entities
+
+    def recognize(self, text: str) -> list[Entity]:
+        """Tokenize ``text`` and recognize entities."""
+        return self.recognize_tokens(tokenize(text))

@@ -1,0 +1,79 @@
+"""Crawl-text normalization: what a fetcher does before NLP sees a page.
+
+Real crawled text arrives with HTML entities, typographic quotes and
+dashes, soft hyphens, stray control characters and ragged whitespace.
+The paper's pre-processing ("changing all text to lower case, stemming,
+and stop-word elimination") presumes this cleanup already happened;
+this module is that layer.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+import unicodedata
+
+_QUOTE_MAP = {
+    "‘": "'", "’": "'", "‚": "'", "‛": "'",
+    "“": '"', "”": '"', "„": '"', "‟": '"',
+    "′": "'", "″": '"',
+}
+_DASH_MAP = {
+    "‐": "-", "‑": "-", "‒": "-", "–": "-",
+    "—": "-", "―": "-", "−": "-",
+}
+_ELLIPSIS = "…"
+_SOFT_HYPHEN = "­"
+_ZERO_WIDTH = ("​", "‌", "‍", "﻿")
+
+_WS_RE = re.compile(r"[ \t\f\v]+")
+_BLANKS_RE = re.compile(r"\n{3,}")
+_TAG_RE = re.compile(r"<[^>\n]{1,200}>")
+
+
+def unescape_entities(text: str) -> str:
+    """Resolve HTML entities (``&amp;`` -> ``&``, ``&#39;`` -> ``'``)."""
+    return html.unescape(text)
+
+
+def strip_tags(text: str) -> str:
+    """Drop inline markup tags, replacing each with a space."""
+    return _TAG_RE.sub(" ", text)
+
+
+def normalize_punctuation(text: str) -> str:
+    """Map typographic quotes/dashes/ellipses to ASCII equivalents."""
+    for source, target in _QUOTE_MAP.items():
+        text = text.replace(source, target)
+    for source, target in _DASH_MAP.items():
+        text = text.replace(source, target)
+    return text.replace(_ELLIPSIS, "...")
+
+
+def remove_invisibles(text: str) -> str:
+    """Drop soft hyphens, zero-width characters and control chars."""
+    text = text.replace(_SOFT_HYPHEN, "")
+    for char in _ZERO_WIDTH:
+        text = text.replace(char, "")
+    return "".join(
+        char
+        for char in text
+        if char in "\n\t" or unicodedata.category(char) != "Cc"
+    )
+
+
+def collapse_whitespace(text: str) -> str:
+    """Squeeze runs of spaces/tabs; cap blank-line runs at one."""
+    text = _WS_RE.sub(" ", text)
+    text = re.sub(r" ?\n ?", "\n", text)
+    text = _BLANKS_RE.sub("\n\n", text)
+    return text.strip()
+
+
+def normalize_crawl_text(text: str) -> str:
+    """The full fetcher-side cleanup pipeline, in canonical order."""
+    text = unescape_entities(text)
+    text = strip_tags(text)
+    text = remove_invisibles(text)
+    text = normalize_punctuation(text)
+    return collapse_whitespace(text)

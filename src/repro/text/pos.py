@@ -1,0 +1,183 @@
+"""Part-of-speech tagger (substitute for QTag, section 3.2.1).
+
+The paper assigns a part-of-speech category to every token that the
+named-entity recognizer does not claim, and Figures 3-4 analyze the
+abstraction categories ``vb``, ``rb``, ``nn``, ``np`` and ``jj``.  This
+tagger reproduces that behaviour with a three-layer design, in the spirit
+of Brill's transformation-based tagger:
+
+1. a closed-class lexicon (determiners, prepositions, pronouns, modals,
+   conjunctions) plus an open-class seed lexicon of common business verbs,
+   adjectives and adverbs;
+2. morphological suffix rules for unknown words (``-ly`` -> rb,
+   ``-ing``/``-ed`` -> vb, ``-tion`` -> nn, capitalized -> np, ...);
+3. contextual patch rules that fix the most common lexical-stage errors
+   (e.g. a verb-tagged word following a determiner becomes a noun).
+
+Tagset (lower-case, matching the figures in the paper): ``nn`` common
+noun, ``np`` proper noun, ``vb`` verb, ``jj`` adjective, ``rb`` adverb,
+``cd`` number, ``dt`` determiner, ``in`` preposition, ``prp`` pronoun,
+``cc`` conjunction, ``md`` modal, ``to``, ``punct``, ``sym``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.tokenizer import Token, tokenize
+
+DETERMINERS = frozenset(
+    "the a an this that these those each every some any no all both".split()
+)
+PREPOSITIONS = frozenset(
+    """in on at by for with from of to into over under between among
+    during after before against through across within without about
+    above below near behind beyond""".split()
+)
+PRONOUNS = frozenset(
+    """i you he she it we they me him her us them his hers its their
+    theirs our ours your yours who whom whose which what""".split()
+)
+CONJUNCTIONS = frozenset("and or but nor so yet while although because".split())
+MODALS = frozenset("will would can could may might shall should must".split())
+
+#: Common verbs (base + inflected) seen in business news.
+_VERB_SEED = """
+is are was were be been being has have had do does did say says said
+announce announced announces report reported reports acquire acquired
+acquires buy bought buys merge merged merges appoint appointed appoints
+name named names hire hired hires promote promoted promotes resign
+resigned resigns retire retired retires post posted posts record
+recorded records grow grew grown grows rise rose risen rises fall fell
+fallen falls increase increased increases decrease decreased decreases
+plan planned plans expect expected expects see saw seen sees make made
+makes take took taken takes join joined joins lead led leads serve
+served serves step stepped steps launch launched launches sign signed
+signs complete completed completes agree agreed agrees deliver delivered
+delivers achieve achieved achieves unveil unveiled unveils disclose
+disclosed discloses register registered registers tap tapped taps elect
+elected elects oust ousted welcome welcomed welcomes recruit recruited
+recruits select selected selects elevate elevated elevates depart
+departed departs leave left leaves succeed succeeded succeeds replace
+replaced replaces become became becomes remain remained remains continue
+continued continues snap snapped
+""".split()
+VERBS = frozenset(_VERB_SEED)
+
+_ADJECTIVE_SEED = """
+new strong weak solid severe sharp significant record quarterly annual
+fiscal net major minor senior junior former current chief executive
+financial global local strategic robust impressive stellar healthy
+remarkable substantial disappointing dismal steep heavy recent definitive
+big small large good bad high low early late next last previous
+""".split()
+ADJECTIVES = frozenset(_ADJECTIVE_SEED)
+
+_ADVERB_SEED = """
+also now then very well today yesterday tomorrow recently previously
+sharply significantly strongly approximately nearly about already soon
+later earlier still again once formerly effective immediately
+""".split()
+ADVERBS = frozenset(_ADVERB_SEED)
+
+_NOUN_SUFFIXES = (
+    "tion", "sion", "ment", "ness", "ship", "ance", "ence", "ity", "ism",
+    "ist", "ure", "age", "ers", "or", "er",
+)
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ish")
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedToken:
+    """A token paired with its part-of-speech tag."""
+
+    token: Token
+    tag: str
+
+    @property
+    def text(self) -> str:
+        return self.token.text
+
+
+def _lexical_tag(token: Token, is_sentence_initial: bool) -> str:
+    text = token.text
+    lower = text.lower()
+    if not any(char.isalnum() for char in text):
+        return "punct" if text in ".,;:!?\"'()-" else "sym"
+    if text[0].isdigit() or (text[0] == "$" and len(text) > 1):
+        return "cd"
+    if lower == "to":
+        return "to"
+    if lower in DETERMINERS:
+        return "dt"
+    if lower in PREPOSITIONS:
+        return "in"
+    if lower in PRONOUNS:
+        return "prp"
+    if lower in CONJUNCTIONS:
+        return "cc"
+    if lower in MODALS:
+        return "md"
+    if lower in ADVERBS or lower.endswith("ly"):
+        return "rb"
+    if lower in VERBS:
+        return "vb"
+    if lower in ADJECTIVES:
+        return "jj"
+    if text[0].isupper() and not is_sentence_initial:
+        return "np"
+    if lower.endswith(("ing", "ed")) and len(lower) > 4:
+        return "vb"
+    if lower.endswith(_ADJ_SUFFIXES):
+        return "jj"
+    if lower.endswith(_NOUN_SUFFIXES):
+        return "nn"
+    if text[0].isupper() and is_sentence_initial and len(text) > 1:
+        # Sentence-initial capitalized unknown: proper noun if it is not a
+        # known common word shape (heuristic: keep np for TitleCase).
+        return "np" if text[1:].islower() and lower not in VERBS else "nn"
+    return "nn"
+
+
+def _apply_context_patches(tagged: list[TaggedToken]) -> list[TaggedToken]:
+    """Brill-style contextual repairs over the lexical tagging."""
+    patched = list(tagged)
+    for index, item in enumerate(patched):
+        previous = patched[index - 1] if index > 0 else None
+        # DT + vb -> DT + nn ("the acquired assets" is adjectival/nominal)
+        if item.tag == "vb" and previous is not None and previous.tag == "dt":
+            nxt = patched[index + 1] if index + 1 < len(patched) else None
+            if nxt is None or nxt.tag in {"punct", "in", "cc"}:
+                patched[index] = TaggedToken(item.token, "nn")
+        # TO + nn -> TO + vb ("plans to growth" never occurs; "to acquire")
+        if item.tag == "nn" and previous is not None and previous.tag == "to":
+            if item.text.lower() in VERBS:
+                patched[index] = TaggedToken(item.token, "vb")
+        # MD + nn -> MD + vb ("will merge")
+        if item.tag == "nn" and previous is not None and previous.tag == "md":
+            if item.text.lower() in VERBS:
+                patched[index] = TaggedToken(item.token, "vb")
+    return patched
+
+
+def tag_tokens(tokens: list[Token]) -> list[TaggedToken]:
+    """Tag a pre-tokenized sentence."""
+    tagged: list[TaggedToken] = []
+    sentence_initial = True
+    for token in tokens:
+        tag = _lexical_tag(token, sentence_initial)
+        tagged.append(TaggedToken(token, tag))
+        if tag != "punct":
+            sentence_initial = False
+        elif token.text in ".!?":
+            sentence_initial = True
+    return _apply_context_patches(tagged)
+
+
+def tag(text: str) -> list[TaggedToken]:
+    """Tokenize and tag raw text."""
+    return tag_tokens(tokenize(text))
+
+
+#: The open-class POS categories analyzed in Figures 3-4 of the paper.
+OPEN_CLASS_TAGS = ("vb", "rb", "nn", "np", "jj")

@@ -1,0 +1,80 @@
+"""Regex tokenizer for business-news text.
+
+Produces :class:`Token` objects carrying character offsets so downstream
+annotators (POS, NER) can align spans back to the source text.  The token
+grammar understands the lexical shapes that matter to ETAP's named-entity
+categories: currency amounts (``$4.5``), percentages (``12%``), years
+(``1998``), decimal and comma-grouped numbers, abbreviations with internal
+periods (``Mr.``, ``U.S.``), hyphenated words and possessives.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single token with its character span in the source text."""
+
+    text: str
+    start: int
+    end: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.text
+
+
+#: Common abbreviations whose trailing period belongs to the token.
+ABBREVIATIONS = frozenset(
+    {
+        "mr.", "ms.", "mrs.", "dr.", "prof.", "sr.", "jr.", "st.",
+        "inc.", "corp.", "ltd.", "co.", "llc.", "vs.", "etc.", "rs.",
+        "jan.", "feb.", "mar.", "apr.", "jun.", "jul.", "aug.", "sep.",
+        "sept.", "oct.", "nov.", "dec.", "u.s.", "u.k.", "e.g.", "i.e.",
+        "no.", "vol.", "fig.", "approx.",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \$\d[\d,]*(?:\.\d+)?          # currency amounts: $4.5  $1,200
+  | \d[\d,]*(?:\.\d+)?%           # percentages: 12%  3.5%
+  | \d[\d,]*(?:\.\d+)?            # plain numbers: 1998  4,500  3.14
+  | [A-Za-z]+(?:\.[A-Za-z]+)+\.?  # dotted abbreviations: U.S.  e.g.
+  | [A-Za-z]+\.(?=\s|$)           # word followed by period (maybe abbrev)
+  | [A-Za-z]+(?:-[A-Za-z]+)+      # hyphenated words: state-of-the-art
+  | [A-Za-z]+'[a-z]+              # contractions / possessives: it's
+  | [A-Za-z]+                     # plain words
+  | %                             # stray percent sign
+  | [^\sA-Za-z0-9]                # any other single symbol
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens, keeping character offsets.
+
+    A trailing period is kept attached only for known abbreviations
+    (``Mr.``, ``Inc.``); otherwise it is emitted as its own token so the
+    sentence chunker can treat it as a boundary candidate.
+    """
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        raw = match.group()
+        start = match.start()
+        if raw.endswith(".") and len(raw) > 1 and "." not in raw[:-1]:
+            if raw.lower() not in ABBREVIATIONS:
+                word = raw[:-1]
+                tokens.append(Token(word, start, start + len(word)))
+                tokens.append(Token(".", start + len(word), match.end()))
+                continue
+        tokens.append(Token(raw, start, match.end()))
+    return tokens
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Tokenize and return only the token strings."""
+    return [token.text for token in tokenize(text)]

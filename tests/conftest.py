@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+Expensive artifacts (synthetic web, gathered ETAP, evaluation dataset)
+are session-scoped: integration tests across files reuse one instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.evaluation.datasets import DatasetSpec, build_evaluation_dataset
+from repro.text.annotator import Annotator
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    return build_web(300, CorpusConfig(seed=11))
+
+
+@pytest.fixture(scope="session")
+def annotator():
+    return Annotator()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """The DatasetSpec.small() evaluation setup, built once per session."""
+    return build_evaluation_dataset(DatasetSpec.small())
+
+
+@pytest.fixture(scope="session")
+def trained_etap(small_dataset):
+    """ETAP with classifiers trained for all three drivers."""
+    etap = small_dataset.etap
+    if not etap.classifiers:
+        etap.train(pure_positive=small_dataset.pure_positive)
+    return etap

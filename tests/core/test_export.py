@@ -1,0 +1,96 @@
+"""CRM-export tests."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.export import (
+    export_events_csv,
+    export_events_jsonl,
+    export_leads_csv,
+    export_leads_jsonl,
+)
+from repro.core.ranking import (
+    CompanyScore,
+    make_trigger_events,
+    rank_events,
+)
+from repro.core.snippets import Snippet
+from repro.core.training import AnnotatedSnippet
+from repro.text.annotator import Annotator
+
+_annotator = Annotator()
+
+
+@pytest.fixture
+def events():
+    texts = [
+        "Acme Inc acquired Globex Corp for $5 billion.",
+        "Initech Ltd acquired Hooli Systems.",
+    ]
+    items = [
+        AnnotatedSnippet(
+            snippet=Snippet(doc_id=f"x{i}", index=0, sentences=(t,)),
+            annotated=_annotator.annotate(t),
+        )
+        for i, t in enumerate(texts)
+    ]
+    return rank_events(make_trigger_events("ma", items, [0.9, 0.7]))
+
+
+@pytest.fixture
+def leads():
+    return [
+        CompanyScore(company="acme", mrr=0.8, n_trigger_events=3),
+        CompanyScore(company="globex", mrr=0.5, n_trigger_events=1),
+    ]
+
+
+class TestEventExports:
+    def test_csv_roundtrip(self, events, tmp_path):
+        path = export_events_csv(events, tmp_path / "events.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["driver_id"] == "ma"
+        assert rows[0]["rank"] == "1"
+        assert "acme" in rows[0]["companies"]
+        assert float(rows[0]["score"]) == pytest.approx(0.9)
+
+    def test_jsonl_roundtrip(self, events, tmp_path):
+        path = export_events_jsonl(events, tmp_path / "events.jsonl")
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        assert records[0]["companies"] == ["acme", "globex"]
+        assert records[1]["rank"] == 2
+
+    def test_empty_events(self, tmp_path):
+        path = export_events_csv([], tmp_path / "empty.csv")
+        with path.open() as handle:
+            assert list(csv.DictReader(handle)) == []
+
+
+class TestLeadExports:
+    def test_csv(self, leads, tmp_path):
+        path = export_leads_csv(leads, tmp_path / "leads.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0] == {
+            "rank": "1", "company": "acme", "mrr": "0.8",
+            "n_trigger_events": "3",
+        }
+
+    def test_jsonl(self, leads, tmp_path):
+        path = export_leads_jsonl(leads, tmp_path / "leads.jsonl")
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [r["company"] for r in records] == ["acme", "globex"]
+        assert records[0]["rank"] == 1

@@ -1,0 +1,121 @@
+"""Industry-profile tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.industry import (
+    IndustryProfile,
+    get_industry,
+    it_industry,
+    steel_industry,
+)
+from repro.core.ranking import make_trigger_events, rank_events
+from repro.core.snippets import Snippet
+from repro.core.training import AnnotatedSnippet
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+    REVENUE_GROWTH,
+)
+from repro.text.annotator import Annotator
+
+_annotator = Annotator()
+_n = 0
+
+
+def event(text, score, driver):
+    global _n
+    _n += 1
+    item = AnnotatedSnippet(
+        snippet=Snippet(doc_id=f"i{_n}", index=0, sentences=(text,)),
+        annotated=_annotator.annotate(text),
+    )
+    return make_trigger_events(driver, [item], [score])[0]
+
+
+@pytest.fixture
+def events_by_driver():
+    return {
+        MERGERS_ACQUISITIONS: rank_events([
+            event("Acme Inc acquired Globex Corp.", 0.9,
+                  MERGERS_ACQUISITIONS),
+        ]),
+        REVENUE_GROWTH: rank_events([
+            event("Initech Ltd reported revenue of $5 billion.", 0.8,
+                  REVENUE_GROWTH),
+        ]),
+        CHANGE_IN_MANAGEMENT: rank_events([
+            event("Initech Ltd named Mary Jones CEO.", 0.7,
+                  CHANGE_IN_MANAGEMENT),
+        ]),
+    }
+
+
+class TestProfiles:
+    def test_builtin_lookup(self):
+        assert get_industry("it").industry_id == "it"
+        assert get_industry("steel").industry_id == "steel"
+
+    def test_unknown_industry(self):
+        with pytest.raises(KeyError):
+            get_industry("buggy-whips")
+
+    def test_steel_excludes_ma(self):
+        # The paper's example: M&A is not a steel sales driver.
+        assert MERGERS_ACQUISITIONS not in steel_industry().driver_ids
+
+    def test_it_includes_all_three(self):
+        assert len(it_industry().driver_ids) == 3
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            IndustryProfile("x", "X", {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            IndustryProfile("x", "X", {"d": -1.0})
+
+
+class TestLeadLists:
+    def test_steel_ignores_ma_events(self, events_by_driver):
+        leads = steel_industry().lead_list(events_by_driver)
+        companies = {lead.company for lead in leads}
+        assert "acme" not in companies  # only appeared via M&A
+        assert "initech" in companies
+
+    def test_it_counts_all_events(self, events_by_driver):
+        leads = it_industry().lead_list(events_by_driver)
+        initech = next(l for l in leads if l.company == "initech")
+        assert initech.n_trigger_events == 2
+
+    def test_filter_events(self, events_by_driver):
+        filtered = steel_industry().filter_events(events_by_driver)
+        assert MERGERS_ACQUISITIONS not in filtered
+        assert REVENUE_GROWTH in filtered
+
+    def test_weights_change_ordering(self):
+        # Same events; an industry that only values CiM flips the order
+        # relative to one that only values RG.
+        shared = {
+            REVENUE_GROWTH: rank_events([
+                event("Acme Inc reported revenue of $1 billion.", 0.9,
+                      REVENUE_GROWTH),
+                event("Globex Corp reported revenue of $2 billion.",
+                      0.5, REVENUE_GROWTH),
+            ]),
+            CHANGE_IN_MANAGEMENT: rank_events([
+                event("Globex Corp named Mary Jones CEO.", 0.9,
+                      CHANGE_IN_MANAGEMENT),
+                event("Acme Inc named John Smith CTO.", 0.5,
+                      CHANGE_IN_MANAGEMENT),
+            ]),
+        }
+        rg_only = IndustryProfile(
+            "rg", "RG", {REVENUE_GROWTH: 1.0}
+        ).lead_list(shared)
+        cim_only = IndustryProfile(
+            "cim", "CiM", {CHANGE_IN_MANAGEMENT: 1.0}
+        ).lead_list(shared)
+        assert rg_only[0].company == "acme"
+        assert cim_only[0].company == "globex"

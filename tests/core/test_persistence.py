@@ -1,0 +1,144 @@
+"""Classifier persistence tests: save/load roundtrips per model kind."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import TriggerEventClassifier
+from repro.core.persistence import (
+    UnsupportedModelError,
+    classifier_to_dict,
+    load_classifier,
+    load_classifiers,
+    save_classifier,
+    save_classifiers,
+)
+from repro.core.snippets import Snippet
+from repro.core.training import AnnotatedSnippet
+from repro.ml.logreg import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.svm import LinearSvm
+from repro.text.annotator import Annotator
+
+_annotator = Annotator()
+_n = 0
+
+
+def item(text):
+    global _n
+    _n += 1
+    return AnnotatedSnippet(
+        snippet=Snippet(doc_id=f"p{_n}", index=0, sentences=(text,)),
+        annotated=_annotator.annotate(text),
+    )
+
+
+@pytest.fixture(scope="module")
+def train_sets():
+    positives = [
+        item(f"{a} agreed to acquire {b} for $5 billion.")
+        for a, b in [
+            ("Acme Inc", "Globex Corp"), ("Initech Ltd", "Hooli Systems"),
+            ("Stark Group", "Wayne Industries"),
+        ]
+    ] * 4
+    negatives = [
+        item(t) for t in [
+            "A guide to hiking trails near Tokyo.",
+            "The weather stayed mild all week.",
+            "Read our reviews of gardening tools.",
+        ]
+    ] * 6
+    return positives, negatives
+
+
+FACTORIES = {
+    "multinomial_nb": None,  # classifier default
+    "bernoulli_nb": BernoulliNaiveBayes,
+    "linear_svm": lambda: LinearSvm(epochs=3),
+}
+
+
+@pytest.mark.parametrize("kind", list(FACTORIES))
+def test_roundtrip_preserves_scores(kind, train_sets, tmp_path):
+    positives, negatives = train_sets
+    kwargs = {}
+    if FACTORIES[kind] is not None:
+        kwargs["classifier_factory"] = FACTORIES[kind]
+    clf = TriggerEventClassifier("mergers_acquisitions", **kwargs)
+    clf.fit(positives, negatives)
+
+    path = tmp_path / f"{kind}.json"
+    save_classifier(clf, path)
+    loaded = load_classifier(path)
+
+    sample = positives[:3] + negatives[:3]
+    assert np.allclose(clf.score(sample), loaded.score(sample))
+    assert loaded.driver_id == "mergers_acquisitions"
+    assert loaded.policy == clf.policy
+
+
+def test_logistic_regression_roundtrip(train_sets, tmp_path):
+    # LR lacks sample_weight-free fit inside the reducer?  It supports
+    # weights, so it goes through the denoiser directly.
+    positives, negatives = train_sets
+    clf = TriggerEventClassifier(
+        "mergers_acquisitions", classifier_factory=LogisticRegression
+    )
+    clf.fit(positives, negatives)
+    path = tmp_path / "lr.json"
+    save_classifier(clf, path)
+    loaded = load_classifier(path)
+    sample = positives[:2] + negatives[:2]
+    assert np.allclose(clf.score(sample), loaded.score(sample))
+
+
+def test_unfitted_classifier_rejected(tmp_path):
+    clf = TriggerEventClassifier("x")
+    with pytest.raises(ValueError):
+        save_classifier(clf, tmp_path / "x.json")
+
+
+def test_unsupported_model_rejected(train_sets, tmp_path):
+    class WeirdModel:
+        def fit(self, X, y, sample_weight=None):
+            return self
+
+        def predict(self, X):
+            return np.ones(X.shape[0], dtype=np.int64)
+
+        def predict_proba(self, X):
+            return np.tile([0.2, 0.8], (X.shape[0], 1))
+
+    positives, negatives = train_sets
+    clf = TriggerEventClassifier("x", classifier_factory=WeirdModel)
+    clf.fit(positives, negatives)
+    with pytest.raises(UnsupportedModelError):
+        classifier_to_dict(clf)
+
+
+def test_bad_format_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format_version": 99}')
+    with pytest.raises(ValueError):
+        load_classifier(path)
+
+
+def test_directory_roundtrip(train_sets, tmp_path):
+    positives, negatives = train_sets
+    classifiers = {}
+    for driver_id in ("a_driver", "b_driver"):
+        clf = TriggerEventClassifier(driver_id)
+        clf.fit(positives, negatives)
+        classifiers[driver_id] = clf
+
+    written = save_classifiers(classifiers, tmp_path / "models")
+    assert len(written) == 2
+    loaded = load_classifiers(tmp_path / "models")
+    assert set(loaded) == {"a_driver", "b_driver"}
+    sample = positives[:2]
+    for driver_id, clf in classifiers.items():
+        assert np.allclose(
+            clf.score(sample), loaded[driver_id].score(sample)
+        )

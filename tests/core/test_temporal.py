@@ -1,0 +1,114 @@
+"""Temporal resolution and recency-scoring tests (section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.temporal import (
+    extract_years,
+    recency_multiplier,
+    resolve,
+    score_with_recency,
+)
+from repro.text.annotator import Annotator
+
+
+class TestExtractYears:
+    def test_single_year(self):
+        assert extract_years("founded in 1998") == [1998]
+
+    def test_year_range(self):
+        assert extract_years("CEO from 1980-1985") == [1980, 1985]
+
+    def test_no_years(self):
+        assert extract_years("no dates here") == []
+
+    def test_out_of_range_numbers_ignored(self):
+        # 2500 and 1850 fall outside the 1900-2099 window.
+        assert extract_years("worth 2500 dollars since 1850") == []
+        assert extract_years("worth 2500 dollars since 1950") == [1950]
+
+
+class TestResolve:
+    def test_absolute_year(self):
+        reading = resolve("It happened in 2004.", reference_year=2005)
+        assert reading.resolved_year == 2004
+
+    def test_range_resolves_to_end(self):
+        reading = resolve("served from 1980-1985", reference_year=2005)
+        assert reading.resolved_year == 1985
+
+    def test_last_year_relative(self):
+        reading = resolve("profits fell last year", reference_year=2005)
+        assert reading.resolved_year == 2004
+        assert reading.has_relative_reference
+
+    def test_later_this_year(self):
+        reading = resolve(
+            "will acquire the firm later this year", reference_year=2005
+        )
+        assert reading.resolved_year == 2005
+
+    def test_no_evidence(self):
+        reading = resolve("a pleasant afternoon", reference_year=2005)
+        assert reading.resolved_year is None
+
+    def test_current_marker_detected(self):
+        reading = resolve(
+            "the company announced a deal", reference_year=2005
+        )
+        assert reading.has_current_marker
+
+    def test_most_recent_year_wins(self):
+        reading = resolve(
+            "after 1998, the 2005 results improved", reference_year=2005
+        )
+        assert reading.resolved_year == 2005
+
+
+class TestRecencyMultiplier:
+    def test_current_event_full_weight(self):
+        reading = resolve("deal announced in 2005", reference_year=2005)
+        assert recency_multiplier(reading, 2005) == pytest.approx(1.0)
+
+    def test_no_evidence_full_weight(self):
+        reading = resolve("a deal was made", reference_year=2005)
+        # 'announced'-style markers absent; no years: treated current.
+        assert recency_multiplier(reading, 2005) == 1.0
+
+    def test_halves_per_half_life(self):
+        reading = resolve("back in 2003 it happened", reference_year=2005)
+        assert recency_multiplier(
+            reading, 2005, half_life_years=2.0
+        ) == pytest.approx(0.5)
+
+    def test_old_biography_heavily_discounted(self):
+        reading = resolve(
+            "was the CEO from 1980-1985", reference_year=2005
+        )
+        assert recency_multiplier(reading, 2005) < 0.01
+
+    def test_current_marker_floors_multiplier(self):
+        reading = resolve(
+            "announced results; founded back in 1980", reference_year=2005
+        )
+        assert recency_multiplier(reading, 2005) == 0.5
+
+    def test_invalid_half_life(self):
+        reading = resolve("x", reference_year=2005)
+        with pytest.raises(ValueError):
+            recency_multiplier(reading, 2005, half_life_years=0)
+
+
+class TestScoreWithRecency:
+    def test_biography_score_crushed(self):
+        annotator = Annotator()
+        bio = annotator.annotate(
+            "Mr. Andersen was the CEO of XYZ Inc. from 1980-1985."
+        )
+        fresh = annotator.annotate(
+            "Acme Inc named Mary Jones CEO, effective June 2005."
+        )
+        bio_score = score_with_recency(0.95, bio, reference_year=2005)
+        fresh_score = score_with_recency(0.95, fresh, reference_year=2005)
+        assert fresh_score > 10 * bio_score

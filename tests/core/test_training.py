@@ -1,0 +1,105 @@
+"""Training-data generation tests (section 3.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.drivers import get_driver
+from repro.core.training import TrainingDataGenerator
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+)
+from repro.gather.pipeline import DataGatherer
+
+
+@pytest.fixture(scope="module")
+def generator(small_web):
+    gatherer = DataGatherer(small_web, max_pages=10_000)
+    gatherer.gather()
+    return TrainingDataGenerator(gatherer.store, gatherer.engine)
+
+
+class TestNoisyPositive:
+    def test_produces_snippets_and_report(self, generator):
+        driver = get_driver(CHANGE_IN_MANAGEMENT)
+        items, report = generator.noisy_positive(
+            driver, top_k_per_query=40
+        )
+        assert items
+        assert report.snippets_kept == len(items)
+        assert report.snippets_seen >= report.snippets_kept
+        assert report.queries_run == 5
+
+    def test_all_kept_snippets_pass_the_filter(self, generator):
+        driver = get_driver(MERGERS_ACQUISITIONS)
+        items, _ = generator.noisy_positive(driver, top_k_per_query=40)
+        for item in items:
+            assert driver.snippet_filter(item.annotated)
+
+    def test_noisy_set_is_mostly_positive(self, generator):
+        # The point of smart queries + filters: high (not perfect)
+        # purity.
+        driver = get_driver(CHANGE_IN_MANAGEMENT)
+        items, _ = generator.noisy_positive(driver, top_k_per_query=40)
+        positives = sum(
+            item.snippet.is_positive_for(driver.driver_id) is True
+            or driver.driver_id in _truth_for(generator, item)
+            for item in items
+        )
+        assert positives / len(items) >= 0.6
+
+    def test_rejection_rate_nonzero(self, generator):
+        # Figure 6: relevant pages contain snippets the filter rejects.
+        driver = get_driver(CHANGE_IN_MANAGEMENT)
+        _, report = generator.noisy_positive(driver, top_k_per_query=40)
+        assert report.filter_rejection_rate > 0
+
+
+def _truth_for(generator, item):
+    """Ground-truth drivers of the snippet's source document."""
+    from repro.corpus.generator import driver_for_doc_type
+
+    document = generator.store.get(item.snippet.doc_id)
+    driver = driver_for_doc_type(document.metadata.get("doc_type", ""))
+    return {driver} if driver else set()
+
+
+class TestNegativeSample:
+    def test_requested_size(self, generator):
+        sample = generator.negative_sample(50)
+        assert len(sample) == 50
+
+    def test_deterministic_given_seed(self, generator):
+        a = generator.negative_sample(20, seed=5)
+        b = generator.negative_sample(20, seed=5)
+        assert [x.snippet.snippet_id for x in a] == [
+            x.snippet.snippet_id for x in b
+        ]
+
+    def test_different_seeds_differ(self, generator):
+        a = generator.negative_sample(20, seed=5)
+        b = generator.negative_sample(20, seed=6)
+        assert [x.snippet.snippet_id for x in a] != [
+            x.snippet.snippet_id for x in b
+        ]
+
+    def test_invalid_size(self, generator):
+        with pytest.raises(ValueError):
+            generator.negative_sample(0)
+
+    def test_sample_spans_many_documents(self, generator):
+        sample = generator.negative_sample(100)
+        doc_ids = {item.snippet.doc_id for item in sample}
+        assert len(doc_ids) > 30
+
+
+class TestAnnotationCache:
+    def test_same_snippet_annotated_once(self, generator):
+        snippets = generator.snippets_of_document(
+            generator.store.doc_ids()[0]
+        )
+        first = generator.annotate_snippets(snippets)
+        second = generator.annotate_snippets(snippets)
+        for a, b in zip(first, second):
+            assert a.annotated is b.annotated

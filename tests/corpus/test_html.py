@@ -1,0 +1,66 @@
+"""HTML serving/extraction roundtrip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.html import extract_body_text, extract_text, page_html
+from repro.corpus.web import Page, build_web
+
+
+def make_page(text, title="Headline", links=()):
+    return Page(url="http://x", title=title, text=text, links=links)
+
+
+class TestPageHtml:
+    def test_contains_escaped_body(self):
+        page = make_page("Smith & Jones <rose>.")
+        rendered = page_html(page)
+        assert "Smith &amp; Jones &lt;rose&gt;." in rendered
+
+    def test_has_document_structure(self):
+        rendered = page_html(make_page("Body."))
+        for marker in ("<!DOCTYPE html>", "<head>", "<nav>", "<footer>"):
+            assert marker in rendered
+
+    def test_links_rendered_in_nav(self):
+        page = make_page("Body.", links=("http://a", "http://b"))
+        rendered = page_html(page)
+        assert 'href="http://a"' in rendered
+
+
+class TestExtractText:
+    def test_roundtrip_recovers_title_and_text(self):
+        page = make_page("Acme Inc acquired Globex Corp. Deal done.")
+        extracted = extract_text(page_html(page))
+        assert extracted.splitlines()[0] == "Headline"
+        assert "Acme Inc acquired Globex Corp. Deal done." in extracted
+
+    def test_body_roundtrip_exact(self):
+        page = make_page("Acme Inc acquired Globex Corp. Deal done.")
+        assert extract_body_text(page_html(page)) == page.text
+
+    def test_chrome_removed(self):
+        page = make_page("Body text only.")
+        extracted = extract_text(page_html(page))
+        assert "Copyright" not in extracted
+        assert "related" not in extracted
+
+    def test_entities_unescaped(self):
+        page = make_page("Smith & Jones rose 5%.")
+        assert "Smith & Jones rose 5%." in extract_text(
+            page_html(page)
+        )
+
+    def test_roundtrip_over_generated_corpus(self):
+        web = build_web(40)
+        for document in web.documents[:20]:
+            page = web.fetch(document.url)
+            assert extract_body_text(page_html(page)) == page.text
+
+    def test_extraction_feeds_tokenizer_identically(self):
+        from repro.text.tokenizer import tokenize_words
+
+        page = make_page("Acme Inc paid $4.5 billion on Monday.")
+        recovered = extract_body_text(page_html(page))
+        assert tokenize_words(recovered) == tokenize_words(page.text)

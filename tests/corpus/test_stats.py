@@ -1,0 +1,53 @@
+"""Corpus-statistics tests: the design claims, measured."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.stats import compute_stats, render_stats
+
+
+@pytest.fixture(scope="module")
+def stats():
+    generator = CorpusGenerator(CorpusConfig(seed=17))
+    return compute_stats(generator.generate(1500))
+
+
+class TestComputeStats:
+    def test_counts(self, stats):
+        assert stats.n_documents == 1500
+        assert stats.n_sentences > stats.n_documents * 5
+
+    def test_trigger_documents_are_minority(self, stats):
+        # The default mix puts trigger docs around 21%.
+        assert 0.10 <= stats.trigger_document_fraction <= 0.35
+
+    def test_trigger_docs_contain_noise(self, stats):
+        # Figure 6, quantified: a large share of sentences inside
+        # trigger documents are not trigger sentences.
+        assert 0.3 <= stats.noise_fraction_in_trigger_docs <= 0.9
+
+    def test_mentions_are_head_heavy(self, stats):
+        # The Zipfian design claim behind Figures 3/4: a small set of
+        # companies dominates mentions.
+        n_companies = len(stats.company_mention_counts)
+        assert n_companies > 100
+        assert stats.mention_share_of_top(10) >= 0.25
+
+    def test_doc_type_counts_sum(self, stats):
+        assert sum(stats.doc_type_counts.values()) == stats.n_documents
+
+    def test_empty_corpus(self):
+        empty = compute_stats([])
+        assert empty.trigger_document_fraction == 0.0
+        assert empty.mention_share_of_top() == 0.0
+        assert empty.noise_fraction_in_trigger_docs == 0.0
+
+
+class TestRender:
+    def test_render_mentions_key_figures(self, stats):
+        text = render_stats(stats)
+        assert "documents:" in text
+        assert "top-10 companies" in text
+        assert "ma_news" in text

@@ -1,0 +1,129 @@
+"""Template tests: labels, surface variety, entity coherence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus import templates
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+    REVENUE_GROWTH,
+    EntityPool,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+@pytest.fixture
+def pool(rng):
+    return EntityPool(rng)
+
+
+class TestEntityPool:
+    def test_companies_are_distinct(self, pool):
+        assert pool.company != pool.other_company
+
+    def test_person_last_matches_person(self, pool):
+        assert pool.person.endswith(pool.person_last)
+
+    def test_amount_format(self, pool):
+        amount = pool.amount()
+        assert amount.startswith("$")
+        assert amount.endswith(("million", "billion"))
+
+    def test_percent_format(self, pool):
+        assert pool.percent().endswith("%")
+
+    def test_year_range(self, pool):
+        assert 2002 <= pool.year() <= 2006
+        assert 1975 <= pool.old_year() <= 1999
+
+
+class TestTriggerLabels:
+    def test_ma_trigger_labeled(self, pool, rng):
+        sentence = templates.ma_trigger(pool, rng)
+        assert sentence.label == MERGERS_ACQUISITIONS
+
+    def test_cim_trigger_labeled(self, pool, rng):
+        sentence = templates.cim_trigger(pool, rng)
+        assert sentence.label == CHANGE_IN_MANAGEMENT
+
+    def test_rg_trigger_labeled(self, pool, rng):
+        sentence = templates.rg_trigger(pool, rng)
+        assert sentence.label == REVENUE_GROWTH
+
+    def test_noise_unlabeled(self, pool, rng):
+        assert templates.business_noise(pool, rng).label is None
+        assert templates.background_sentence(rng).label is None
+        assert templates.biography_sentence(pool, rng).label is None
+        assert templates.ma_retrospective(pool, rng).label is None
+        assert templates.product_review_sentence(pool, rng).label is None
+
+
+class TestContent:
+    def test_ma_trigger_mentions_both_companies(self, rng):
+        pool = EntityPool(rng)
+        seen_both = 0
+        for _ in range(30):
+            text = templates.ma_trigger(pool, rng).text
+            if pool.company in text and pool.other_company in text:
+                seen_both += 1
+        assert seen_both >= 20  # most forms name acquirer and target
+
+    def test_cim_trigger_mentions_designation(self, rng):
+        pool = EntityPool(rng)
+        hits = sum(
+            pool.designation in templates.cim_trigger(pool, rng).text
+            for _ in range(30)
+        )
+        assert hits >= 25
+
+    def test_rg_trigger_has_figure(self, rng):
+        pool = EntityPool(rng)
+        for _ in range(20):
+            text = templates.rg_trigger(pool, rng).text
+            assert "%" in text or "$" in text
+
+    def test_biography_mentions_past_years(self, rng):
+        pool = EntityPool(rng)
+        texts = [
+            templates.biography_sentence(pool, rng).text
+            for _ in range(40)
+        ]
+        with_year = [t for t in texts if any(
+            str(y) in t for y in range(1975, 2009)
+        )]
+        assert len(with_year) >= 20
+
+    def test_surface_variety(self, rng):
+        pool = EntityPool(rng)
+        texts = {templates.ma_trigger(pool, rng).text for _ in range(60)}
+        assert len(texts) >= 8  # several distinct surface forms
+
+    def test_sentences_end_with_period(self, rng):
+        pool = EntityPool(rng)
+        for factory in (
+            templates.ma_trigger, templates.cim_trigger,
+            templates.rg_trigger, templates.business_noise,
+            templates.biography_sentence, templates.ma_retrospective,
+            templates.product_review_sentence,
+        ):
+            assert factory(pool, rng).text.endswith(".")
+
+
+class TestDeterminism:
+    def test_same_seed_same_sentences(self):
+        def render(seed):
+            rng = random.Random(seed)
+            pool = EntityPool(rng)
+            return [templates.cim_trigger(pool, rng).text
+                    for _ in range(10)]
+
+        assert render(7) == render(7)
+        assert render(7) != render(8)

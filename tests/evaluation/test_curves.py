@@ -1,0 +1,82 @@
+"""PR-curve tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.curves import (
+    best_operating_point,
+    precision_recall_curve,
+    render_curve,
+)
+
+Y_TRUE = [1, 1, 1, 0, 0, 0, 0, 0]
+SCORES = [0.9, 0.8, 0.4, 0.6, 0.3, 0.2, 0.1, 0.05]
+
+
+class TestCurve:
+    def test_explicit_thresholds(self):
+        points = precision_recall_curve(
+            Y_TRUE, SCORES, thresholds=[0.0, 0.5, 0.85]
+        )
+        assert [p.threshold for p in points] == [0.0, 0.5, 0.85]
+        # Threshold 0 -> everything positive: recall 1, precision 3/8.
+        assert points[0].recall == 1.0
+        assert points[0].precision == pytest.approx(3 / 8)
+        # Threshold 0.85 -> only the 0.9 hit: precision 1, recall 1/3.
+        assert points[2].precision == 1.0
+        assert points[2].recall == pytest.approx(1 / 3)
+
+    def test_recall_never_increases_with_threshold(self):
+        points = precision_recall_curve(
+            Y_TRUE, SCORES, thresholds=sorted(set(SCORES))
+        )
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_default_thresholds_include_half(self):
+        points = precision_recall_curve(Y_TRUE, SCORES)
+        assert any(p.threshold == 0.5 for p in points)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([1, 0], [0.5])
+
+
+class TestBestOperatingPoint:
+    def test_picks_max_f1(self):
+        points = precision_recall_curve(
+            Y_TRUE, SCORES, thresholds=[0.0, 0.35, 0.7]
+        )
+        best = best_operating_point(points)
+        assert best.f1 == max(p.f1 for p in points)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_operating_point([])
+
+
+class TestRender:
+    def test_render_contains_all_points(self):
+        points = precision_recall_curve(
+            Y_TRUE, SCORES, thresholds=[0.1, 0.5]
+        )
+        text = render_curve(points)
+        assert text.count("|") == 2
+        assert "0.500" in text
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+    min_size=2, max_size=50,
+))
+def test_curve_points_bounded(pairs):
+    y_true = [a for a, _ in pairs]
+    scores = [b for _, b in pairs]
+    for point in precision_recall_curve(y_true, scores):
+        assert 0 <= point.precision <= 1
+        assert 0 <= point.recall <= 1
+        assert 0 <= point.f1 <= 1

@@ -1,0 +1,80 @@
+"""Evaluation-dataset construction tests (section 5.1 setup)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.templates import (
+    CHANGE_IN_MANAGEMENT,
+    MERGERS_ACQUISITIONS,
+    REVENUE_GROWTH,
+)
+from repro.evaluation.datasets import DatasetSpec
+
+
+class TestSpec:
+    def test_default_matches_paper_counts(self):
+        spec = DatasetSpec()
+        assert spec.n_test_positive_ma == 72
+        assert spec.n_test_positive_cim == 56
+        assert spec.n_test_negative == 2265
+
+    def test_small_profile_is_smaller(self):
+        small = DatasetSpec.small()
+        assert small.n_web_docs < DatasetSpec().n_web_docs
+        assert small.n_test_negative < DatasetSpec().n_test_negative
+
+
+class TestBuiltDataset:
+    def test_counts_match_spec(self, small_dataset):
+        spec = DatasetSpec.small()
+        labels = small_dataset.test_labels
+        assert labels[MERGERS_ACQUISITIONS].sum() == (
+            spec.n_test_positive_ma
+        )
+        assert labels[CHANGE_IN_MANAGEMENT].sum() == (
+            spec.n_test_positive_cim
+        )
+        assert labels[REVENUE_GROWTH].sum() == spec.n_test_positive_rg
+
+    def test_common_test_pool(self, small_dataset):
+        # All drivers share one test-item list (the paper's "common
+        # test data").
+        n = len(small_dataset.test_items)
+        for labels in small_dataset.test_labels.values():
+            assert labels.shape == (n,)
+
+    def test_pure_positive_disjoint_from_test(self, small_dataset):
+        for driver_id, pure in small_dataset.pure_positive.items():
+            pure_ids = {item.snippet.snippet_id for item in pure}
+            test_ids = {
+                item.snippet.snippet_id
+                for item in small_dataset.test_items
+            }
+            assert not pure_ids & test_ids
+
+    def test_holdout_disjoint_from_store(self, small_dataset):
+        store_ids = set(small_dataset.etap.store.doc_ids())
+        for item in small_dataset.test_items:
+            assert item.snippet.doc_id not in store_ids
+
+    def test_positive_items_really_positive(self, small_dataset):
+        for driver_id in small_dataset.test_labels:
+            for item, label in zip(
+                small_dataset.test_items,
+                small_dataset.test_labels[driver_id],
+            ):
+                assert item.snippet.is_positive_for(driver_id) == bool(
+                    label
+                )
+
+    def test_positives_helper(self, small_dataset):
+        positives = small_dataset.positives(MERGERS_ACQUISITIONS)
+        assert len(positives) == int(
+            np.sum(small_dataset.test_labels[MERGERS_ACQUISITIONS])
+        )
+
+    def test_pure_positive_counts(self, small_dataset):
+        spec = DatasetSpec.small()
+        for pure in small_dataset.pure_positive.values():
+            assert len(pure) == spec.n_pure_positive

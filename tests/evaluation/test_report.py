@@ -1,0 +1,38 @@
+"""Reproduction-report generator tests."""
+
+from __future__ import annotations
+
+from repro.evaluation.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, small_dataset):
+        report = generate_report(dataset=small_dataset)
+        for marker in (
+            "Table 1", "Figures 3-4", "Figures 5-6", "Figure 7",
+            "Figure 8", "Equation 2",
+        ):
+            assert marker in report, marker
+
+    def test_paper_reference_numbers_included(self, small_dataset):
+        report = generate_report(dataset=small_dataset)
+        assert "0.773" in report  # paper M&A F1
+        assert "0.715" in report  # paper CiM F1
+
+    def test_corpus_summary_line(self, small_dataset):
+        report = generate_report(dataset=small_dataset)
+        assert f"{len(small_dataset.etap.store)} documents" in report
+
+    def test_markdown_structure(self, small_dataset):
+        report = generate_report(dataset=small_dataset)
+        assert report.startswith("# ETAP reproduction report")
+        assert report.count("\n## ") == 6
+
+
+class TestWriteReport:
+    def test_writes_file(self, small_dataset, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", dataset=small_dataset
+        )
+        assert path.exists()
+        assert "Table 1" in path.read_text(encoding="utf-8")

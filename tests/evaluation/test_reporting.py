@@ -1,0 +1,60 @@
+"""ASCII reporting tests."""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import (
+    ascii_table,
+    format_float,
+    log_bar_chart,
+)
+
+
+class TestAsciiTable:
+    def test_header_and_rows_present(self):
+        table = ascii_table(["A", "B"], [["one", 2], ["three", 4]])
+        lines = table.splitlines()
+        assert "A" in lines[0] and "B" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "three" in table
+
+    def test_columns_aligned(self):
+        table = ascii_table(["Col"], [["x"], ["longer"]])
+        lines = table.splitlines()
+        assert len({line.index("|") if "|" in line else -1
+                    for line in lines if "|" in line}) <= 1
+
+    def test_empty_rows(self):
+        table = ascii_table(["A"], [])
+        assert "A" in table
+
+
+class TestLogBarChart:
+    def test_bars_scale_with_magnitude(self):
+        chart = log_bar_chart(
+            ["cat"], {"PA": [0.5], "IV": [0.0005]}, width=20
+        )
+        lines = [line for line in chart.splitlines() if "|" in line]
+        pa_bar = lines[0].count("#")
+        iv_bar = lines[1].count("#")
+        assert pa_bar > iv_bar
+
+    def test_empty_series(self):
+        assert log_bar_chart([], {}) == ""
+
+    def test_every_label_appears(self):
+        chart = log_bar_chart(
+            ["ORG", "vb"], {"PA": [0.1, 0.2], "IV": [0.3, 0.4]}
+        )
+        assert "ORG" in chart and "vb" in chart
+
+    def test_zero_values_use_floor(self):
+        chart = log_bar_chart(["x"], {"PA": [0.0]})
+        assert "log10=" in chart
+
+
+class TestFormatFloat:
+    def test_default_three_digits(self):
+        assert format_float(0.7736) == "0.774"
+
+    def test_custom_digits(self):
+        assert format_float(0.5, 1) == "0.5"

@@ -1,0 +1,108 @@
+"""Significance-testing utilities tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.significance import (
+    bootstrap_f1_interval,
+    mcnemar_test,
+)
+from repro.ml.metrics import precision_recall_f1
+
+
+def make_predictions(seed=5, n=400, acc_a=0.9, acc_b=0.7):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    flip_a = rng.uniform(0, 1, n) > acc_a
+    flip_b = rng.uniform(0, 1, n) > acc_b
+    pred_a = np.where(flip_a, 1 - y, y)
+    pred_b = np.where(flip_b, 1 - y, y)
+    return y, pred_a, pred_b
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self):
+        y, pred, _ = make_predictions()
+        interval = bootstrap_f1_interval(y, pred, n_resamples=300)
+        assert interval.lower <= interval.point <= interval.upper
+
+    def test_point_matches_direct_f1(self):
+        y, pred, _ = make_predictions()
+        interval = bootstrap_f1_interval(y, pred, n_resamples=100)
+        assert interval.point == precision_recall_f1(y, pred).f1
+
+    def test_wider_confidence_wider_interval(self):
+        y, pred, _ = make_predictions()
+        narrow = bootstrap_f1_interval(
+            y, pred, confidence=0.8, n_resamples=500
+        )
+        wide = bootstrap_f1_interval(
+            y, pred, confidence=0.99, n_resamples=500
+        )
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_larger_sample_tighter_interval(self):
+        y_small, pred_small, _ = make_predictions(n=60)
+        y_large, pred_large, _ = make_predictions(n=2000)
+        small = bootstrap_f1_interval(
+            y_small, pred_small, n_resamples=400
+        )
+        large = bootstrap_f1_interval(
+            y_large, pred_large, n_resamples=400
+        )
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_deterministic_given_seed(self):
+        y, pred, _ = make_predictions()
+        a = bootstrap_f1_interval(y, pred, seed=1, n_resamples=200)
+        b = bootstrap_f1_interval(y, pred, seed=1, n_resamples=200)
+        assert a == b
+
+    def test_contains_helper(self):
+        y, pred, _ = make_predictions()
+        interval = bootstrap_f1_interval(y, pred, n_resamples=200)
+        assert interval.contains(interval.point)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_f1_interval([1], [1], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_f1_interval([], [])
+        with pytest.raises(ValueError):
+            bootstrap_f1_interval([1, 0], [1])
+
+
+class TestMcNemar:
+    def test_clearly_different_classifiers_significant(self):
+        y, pred_a, pred_b = make_predictions(acc_a=0.95, acc_b=0.6)
+        result = mcnemar_test(y, pred_a, pred_b)
+        assert result.significant_at_05
+        assert result.n_a_only_correct > result.n_b_only_correct
+
+    def test_identical_classifiers_not_significant(self):
+        y, pred_a, _ = make_predictions()
+        result = mcnemar_test(y, pred_a, pred_a)
+        assert result.p_value == 1.0
+        assert not result.significant_at_05
+
+    def test_equally_good_classifiers_not_significant(self):
+        y, pred_a, pred_b = make_predictions(
+            seed=9, acc_a=0.8, acc_b=0.8
+        )
+        result = mcnemar_test(y, pred_a, pred_b)
+        assert result.p_value > 0.05
+
+    def test_exact_binomial_path_for_few_discordant(self):
+        y = np.array([1, 1, 1, 0, 0, 0, 1, 0])
+        pred_a = y.copy()
+        pred_b = y.copy()
+        pred_b[0] = 0  # one discordant pair
+        result = mcnemar_test(y, pred_a, pred_b)
+        assert result.n_a_only_correct == 1
+        assert 0 < result.p_value <= 1.0
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([1, 0], [1], [1, 0])

@@ -1,0 +1,106 @@
+"""Feature-selection scorer tests: chi2, IG, MI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features.selection import (
+    chi_square_scores,
+    information_gain_scores,
+    mutual_information_scores,
+    select_top_k,
+)
+
+DOCS = [
+    ["acquire", "deal", "company"],
+    ["acquire", "merger", "company"],
+    ["acquire", "deal"],
+    ["weather", "rain", "company"],
+    ["weather", "sun"],
+    ["garden", "weather"],
+]
+LABELS = [1, 1, 1, 0, 0, 0]
+
+
+class TestChiSquare:
+    def test_discriminative_feature_ranks_first(self):
+        scores = chi_square_scores(DOCS, LABELS)
+        top_features = [s.feature for s in scores[:2]]
+        assert "acquire" in top_features
+        assert "weather" in top_features
+
+    def test_uninformative_feature_scores_low(self):
+        scores = {s.feature: s.score for s in chi_square_scores(
+            DOCS, LABELS
+        )}
+        assert scores["company"] < scores["acquire"]
+
+    def test_perfect_feature_statistic_value(self):
+        # 3/3 positive presence, 0/3 negative: chi2 = N = 6.
+        scores = {s.feature: s.score for s in chi_square_scores(
+            DOCS, LABELS
+        )}
+        assert scores["acquire"] == pytest.approx(6.0)
+
+    def test_empty_corpus(self):
+        assert chi_square_scores([], []) == []
+
+
+class TestInformationGain:
+    def test_perfect_feature_gains_full_entropy(self):
+        scores = {s.feature: s.score for s in information_gain_scores(
+            DOCS, LABELS
+        )}
+        assert scores["acquire"] == pytest.approx(1.0)
+
+    def test_uninformative_feature_gains_little(self):
+        scores = {s.feature: s.score for s in information_gain_scores(
+            DOCS, LABELS
+        )}
+        assert scores["company"] < 0.1
+
+    def test_scores_non_negative(self):
+        for s in information_gain_scores(DOCS, LABELS):
+            assert s.score >= 0
+
+
+class TestMutualInformation:
+    def test_positive_feature_has_positive_mi(self):
+        scores = {s.feature: s.score for s in (
+            mutual_information_scores(DOCS, LABELS)
+        )}
+        assert scores["acquire"] == pytest.approx(1.0)  # log2(1/0.5)
+
+    def test_negative_only_feature_is_minus_inf(self):
+        scores = {s.feature: s.score for s in (
+            mutual_information_scores(DOCS, LABELS)
+        )}
+        assert scores["weather"] == float("-inf")
+
+    def test_requires_positive_class(self):
+        assert mutual_information_scores([["a"]], [0]) == []
+
+
+class TestSelectTopK:
+    def test_selects_exactly_k(self):
+        scores = chi_square_scores(DOCS, LABELS)
+        assert len(select_top_k(scores, 2)) == 2
+
+    def test_k_zero(self):
+        scores = chi_square_scores(DOCS, LABELS)
+        assert select_top_k(scores, 0) == set()
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            select_top_k([], -1)
+
+    def test_k_larger_than_features(self):
+        scores = chi_square_scores(DOCS, LABELS)
+        assert len(select_top_k(scores, 1000)) == len(scores)
+
+
+def test_rankings_agree_on_the_best_feature():
+    chi = chi_square_scores(DOCS, LABELS)[0].feature
+    ig = information_gain_scores(DOCS, LABELS)[0].feature
+    assert chi in ("acquire", "weather")
+    assert ig in ("acquire", "weather")

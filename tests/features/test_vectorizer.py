@@ -1,0 +1,102 @@
+"""Vectorizer tests: vocabulary, transform semantics, config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.features.vectorizer import Vectorizer, VectorizerConfig
+
+DOCS = [
+    ["acquire", "deal", "deal"],
+    ["acquire", "merger"],
+    ["weather", "rain"],
+]
+
+
+class TestFit:
+    def test_vocabulary_covers_all_tokens(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        assert set(vectorizer.vocabulary) == {
+            "acquire", "deal", "merger", "weather", "rain",
+        }
+
+    def test_min_df_filters_rare(self):
+        vectorizer = Vectorizer(VectorizerConfig(min_df=2)).fit(DOCS)
+        assert set(vectorizer.vocabulary) == {"acquire"}
+
+    def test_max_features_truncates_by_df(self):
+        vectorizer = Vectorizer(
+            VectorizerConfig(max_features=1)
+        ).fit(DOCS)
+        assert set(vectorizer.vocabulary) == {"acquire"}
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValueError):
+            Vectorizer(VectorizerConfig(min_df=0)).fit(DOCS)
+
+    def test_deterministic_column_order(self):
+        a = Vectorizer().fit(DOCS).vocabulary
+        b = Vectorizer().fit(DOCS).vocabulary
+        assert a == b
+
+
+class TestTransform:
+    def test_counts(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        X = vectorizer.transform(DOCS)
+        row = X[0].toarray().ravel()
+        assert row[vectorizer.vocabulary["deal"]] == 2
+        assert row[vectorizer.vocabulary["acquire"]] == 1
+
+    def test_binary_mode(self):
+        vectorizer = Vectorizer(VectorizerConfig(binary=True)).fit(DOCS)
+        X = vectorizer.transform(DOCS)
+        assert X.max() == 1.0
+
+    def test_unknown_tokens_ignored(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        X = vectorizer.transform([["zork", "acquire"]])
+        assert X.sum() == 1.0
+
+    def test_shape(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        X = vectorizer.transform(DOCS)
+        assert X.shape == (3, vectorizer.n_features)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Vectorizer().transform(DOCS)
+
+    def test_fit_transform_equivalent(self):
+        a = Vectorizer().fit_transform(DOCS).toarray()
+        vectorizer = Vectorizer().fit(DOCS)
+        b = vectorizer.transform(DOCS).toarray()
+        assert np.array_equal(a, b)
+
+    def test_empty_document_row_is_zero(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        X = vectorizer.transform([[]])
+        assert X.sum() == 0.0
+
+
+class TestFeatureNames:
+    def test_names_align_with_columns(self):
+        vectorizer = Vectorizer().fit(DOCS)
+        names = vectorizer.feature_names()
+        for feature, index in vectorizer.vocabulary.items():
+            assert names[index] == feature
+
+
+@given(st.lists(
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=10),
+    min_size=1, max_size=10,
+))
+def test_row_sums_equal_kept_token_counts(docs):
+    vectorizer = Vectorizer().fit(docs)
+    X = vectorizer.transform(docs)
+    for row, tokens in enumerate(docs):
+        kept = [t for t in tokens if t in vectorizer.vocabulary]
+        assert X[row].sum() == len(kept)

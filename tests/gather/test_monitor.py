@@ -1,0 +1,120 @@
+"""Page-change monitoring tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.web import Page, SyntheticWeb
+from repro.gather.monitor import PageMonitor
+
+import networkx as nx
+
+
+def make_web(pages: dict[str, str]) -> SyntheticWeb:
+    web = SyntheticWeb({}, nx.DiGraph())
+    for url, text in pages.items():
+        web.add_page(Page(url=url, title=url, text=text, links=()))
+    return web
+
+
+@pytest.fixture
+def web():
+    return make_web({
+        "http://a": "Alpha sentence one. Alpha sentence two.",
+        "http://b": "Beta sentence one. Beta sentence two.",
+    })
+
+
+class TestFirstObservation:
+    def test_new_pages_reported(self, web):
+        monitor = PageMonitor(web)
+        report = monitor.observe(["http://a", "http://b"])
+        assert report.observed == 2
+        assert len(report.new_pages) == 2
+        assert not report.modified_pages
+
+    def test_new_page_sentences_captured(self, web):
+        monitor = PageMonitor(web)
+        report = monitor.observe(["http://a"])
+        assert "Alpha sentence one." in report.new_pages[0].new_sentences
+
+
+class TestSubsequentObservations:
+    def test_unchanged_page_is_silent(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a"])
+        report = monitor.observe(["http://a"])
+        assert report.changes == []
+
+    def test_appended_sentence_detected(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a"])
+        web.add_page(Page(
+            url="http://a", title="a",
+            text="Alpha sentence one. Alpha sentence two. "
+                 "A fresh third sentence.",
+            links=(),
+        ))
+        report = monitor.observe(["http://a"])
+        assert len(report.modified_pages) == 1
+        change = report.modified_pages[0]
+        assert change.new_sentences == ("A fresh third sentence.",)
+        assert change.removed_sentences == 0
+
+    def test_removed_sentence_counted(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a"])
+        web.add_page(Page(
+            url="http://a", title="a",
+            text="Alpha sentence one.", links=(),
+        ))
+        report = monitor.observe(["http://a"])
+        assert report.modified_pages[0].removed_sentences == 1
+
+    def test_whitespace_only_change_ignored(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a"])
+        web.add_page(Page(
+            url="http://a", title="a",
+            text="Alpha  sentence   one. Alpha sentence two.",
+            links=(),
+        ))
+        report = monitor.observe(["http://a"])
+        assert report.changes == []
+
+    def test_default_observation_covers_tracked(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a", "http://b"])
+        web.add_page(Page(
+            url="http://b", title="b",
+            text="Beta sentence one. Entirely new material.",
+            links=(),
+        ))
+        report = monitor.observe()
+        assert [c.url for c in report.modified_pages] == ["http://b"]
+
+
+class TestRemovedPages:
+    def test_vanished_page_reported_once(self, web):
+        monitor = PageMonitor(web)
+        monitor.observe(["http://a"])
+        web._pages.pop("http://a")
+        first = monitor.observe(["http://a"])
+        assert len(first.removed_pages) == 1
+        second = monitor.observe(["http://a"])
+        assert second.changes == []
+
+    def test_unknown_url_never_tracked(self, web):
+        monitor = PageMonitor(web)
+        report = monitor.observe(["http://missing"])
+        assert report.changes == []
+        assert monitor.tracked_urls == []
+
+
+class TestAllNewSentences:
+    def test_aggregates_across_changes(self, web):
+        monitor = PageMonitor(web)
+        report = monitor.observe(["http://a", "http://b"])
+        sentences = report.all_new_sentences()
+        assert "Alpha sentence one." in sentences
+        assert "Beta sentence two." in sentences

@@ -1,0 +1,47 @@
+"""Data-gathering pipeline tests: crawl -> store -> index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gather.pipeline import DataGatherer
+
+
+@pytest.fixture(scope="module")
+def gathered(small_web):
+    gatherer = DataGatherer(small_web, max_pages=10_000)
+    report = gatherer.gather()
+    return gatherer, report
+
+
+class TestGather:
+    def test_all_articles_stored(self, gathered, small_web):
+        gatherer, report = gathered
+        assert report.documents_stored == len(small_web.documents)
+        assert len(gatherer.store) == len(small_web.documents)
+
+    def test_hub_pages_not_stored(self, gathered):
+        gatherer, _ = gathered
+        for document in gatherer.store:
+            assert "index-" not in document.url
+
+    def test_metadata_carries_doc_type(self, gathered):
+        gatherer, _ = gathered
+        document = next(iter(gatherer.store))
+        assert "doc_type" in document.metadata
+
+    def test_index_is_queryable(self, gathered):
+        gatherer, _ = gathered
+        hits = gatherer.engine.search('"new ceo"', top_k=10)
+        assert hits
+
+    def test_report_counts_consistent(self, gathered, small_web):
+        _, report = gathered
+        assert report.pages_fetched >= report.documents_stored
+        assert report.duplicates_skipped == 0
+
+    def test_page_budget_limits_store(self, small_web):
+        gatherer = DataGatherer(small_web, max_pages=30)
+        report = gatherer.gather()
+        assert report.pages_fetched == 30
+        assert len(gatherer.store) <= 30

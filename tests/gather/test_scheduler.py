@@ -1,0 +1,100 @@
+"""Adaptive revisit scheduler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gather.scheduler import RevisitScheduler
+
+
+class TestTracking:
+    def test_new_url_due_on_first_tick(self):
+        scheduler = RevisitScheduler()
+        scheduler.track("u")
+        assert scheduler.due(budget=10) == ["u"]
+
+    def test_double_track_is_idempotent(self):
+        scheduler = RevisitScheduler()
+        scheduler.track("u")
+        scheduler.track("u")
+        assert scheduler.due(budget=10) == ["u"]
+        scheduler.report("u", changed=False)
+        assert len(scheduler) == 1
+
+    def test_forget_stops_visits(self):
+        scheduler = RevisitScheduler()
+        scheduler.track("u")
+        scheduler.forget("u")
+        assert scheduler.due(budget=10) == []
+        assert "u" not in scheduler
+
+    def test_budget_limits_pops(self):
+        scheduler = RevisitScheduler()
+        for i in range(5):
+            scheduler.track(f"u{i}")
+        first = scheduler.due(budget=2)
+        assert len(first) == 2
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            RevisitScheduler().due(budget=0)
+
+
+class TestAdaptation:
+    def test_change_shrinks_interval(self):
+        scheduler = RevisitScheduler(initial_interval=8.0)
+        scheduler.track("u")
+        scheduler.due(budget=1)
+        assert scheduler.report("u", changed=True) == 4.0
+
+    def test_no_change_grows_interval(self):
+        scheduler = RevisitScheduler(
+            initial_interval=8.0, grow_factor=2.0
+        )
+        scheduler.track("u")
+        scheduler.due(budget=1)
+        assert scheduler.report("u", changed=False) == 16.0
+
+    def test_interval_bounded(self):
+        scheduler = RevisitScheduler(
+            min_interval=1.0, max_interval=4.0, initial_interval=2.0
+        )
+        scheduler.track("u")
+        scheduler.due(budget=1)
+        for _ in range(10):
+            interval = scheduler.report("u", changed=False)
+            scheduler.due(budget=1)
+        assert interval == 4.0
+        for _ in range(10):
+            interval = scheduler.report("u", changed=True)
+            scheduler.due(budget=1)
+        assert interval == 1.0
+
+    def test_report_untracked_raises(self):
+        with pytest.raises(KeyError):
+            RevisitScheduler().report("ghost", changed=True)
+
+    def test_changing_page_visited_more_often(self):
+        scheduler = RevisitScheduler(
+            min_interval=1.0, max_interval=32.0, initial_interval=4.0
+        )
+        scheduler.track("hot")
+        scheduler.track("cold")
+        visits = {"hot": 0, "cold": 0}
+        for _ in range(60):
+            for url in scheduler.due(budget=10):
+                visits[url] += 1
+                scheduler.report(url, changed=(url == "hot"))
+        assert visits["hot"] > visits["cold"] * 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RevisitScheduler(min_interval=0)
+        with pytest.raises(ValueError):
+            RevisitScheduler(grow_factor=1.0)
+        with pytest.raises(ValueError):
+            RevisitScheduler(shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            RevisitScheduler(
+                min_interval=5.0, initial_interval=2.0
+            )

@@ -1,0 +1,125 @@
+"""Document-store tests: dedup, lookup, ordering, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gather.store import (
+    DocumentStore,
+    DuplicateDocumentError,
+    StoredDocument,
+    content_hash,
+)
+
+
+def doc(doc_id="d1", url="http://a/x", text="some text", title="t"):
+    return StoredDocument(doc_id=doc_id, url=url, title=title, text=text)
+
+
+class TestContentHash:
+    def test_whitespace_insensitive(self):
+        assert content_hash("a  b\nc") == content_hash("a b c")
+
+    def test_case_insensitive(self):
+        assert content_hash("Hello World") == content_hash("hello world")
+
+    def test_different_content_differs(self):
+        assert content_hash("alpha") != content_hash("beta")
+
+
+class TestAdd:
+    def test_add_and_get(self):
+        store = DocumentStore()
+        assert store.add(doc())
+        assert store.get("d1").text == "some text"
+
+    def test_duplicate_id_skipped(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert not store.add(doc(text="different"))
+        assert len(store) == 1
+
+    def test_duplicate_url_skipped(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert not store.add(doc(doc_id="d2", text="different"))
+
+    def test_duplicate_content_skipped(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert not store.add(
+            doc(doc_id="d2", url="http://b/y", text="SOME   text")
+        )
+
+    def test_strict_mode_raises(self):
+        store = DocumentStore()
+        store.add(doc())
+        with pytest.raises(DuplicateDocumentError):
+            store.add(doc(), strict=True)
+
+    def test_add_many_counts_stored(self):
+        store = DocumentStore()
+        stored = store.add_many(
+            [doc(), doc(doc_id="d2", url="http://b", text="other"),
+             doc(doc_id="d3", url="http://c", text="other")]
+        )
+        assert stored == 2
+
+    def test_empty_url_never_collides(self):
+        store = DocumentStore()
+        store.add(doc(doc_id="a", url="", text="first"))
+        assert store.add(doc(doc_id="b", url="", text="second"))
+
+
+class TestAccess:
+    def test_get_by_url(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert store.get_by_url("http://a/x").doc_id == "d1"
+
+    def test_contains(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert "d1" in store
+        assert "d2" not in store
+
+    def test_iteration_preserves_insert_order(self):
+        store = DocumentStore()
+        for i in range(5):
+            store.add(doc(doc_id=f"d{i}", url=f"http://a/{i}",
+                          text=f"text {i}"))
+        assert [d.doc_id for d in store] == [f"d{i}" for i in range(5)]
+
+    def test_doc_ids(self):
+        store = DocumentStore()
+        store.add(doc())
+        assert store.doc_ids() == ["d1"]
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError):
+            DocumentStore().get("nope")
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        store = DocumentStore()
+        store.add(doc(doc_id="a", url="http://a", text="first text"))
+        store.add(StoredDocument(
+            doc_id="b", url="http://b", title="t2", text="second text",
+            metadata={"doc_type": "ma_news"},
+        ))
+        path = tmp_path / "docs.jsonl"
+        store.save_jsonl(path)
+        loaded = DocumentStore.load_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.get("b").metadata == {"doc_type": "ma_news"}
+        assert [d.doc_id for d in loaded] == ["a", "b"]
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "docs.jsonl"
+        path.write_text(
+            '{"doc_id": "a", "text": "hello"}\n\n'
+            '{"doc_id": "b", "text": "world"}\n'
+        )
+        loaded = DocumentStore.load_jsonl(path)
+        assert len(loaded) == 2

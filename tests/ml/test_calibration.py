@@ -1,0 +1,126 @@
+"""Calibration tests: Brier, reliability bins, Platt scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.calibration import (
+    PlattScaler,
+    brier_score,
+    expected_calibration_error,
+    reliability_bins,
+)
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_worst_predictions(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_uninformed_half(self):
+        assert brier_score([1, 0], [0.5, 0.5]) == 0.25
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            brier_score([1], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            brier_score([], [])
+
+
+class TestReliabilityBins:
+    def test_well_calibrated_bins_match(self):
+        rng = np.random.default_rng(8)
+        probs = rng.uniform(0, 1, 4000)
+        y = (rng.uniform(0, 1, 4000) < probs).astype(int)
+        for bin_ in reliability_bins(y, probs, n_bins=5):
+            assert abs(bin_.mean_predicted - bin_.observed_rate) < 0.08
+
+    def test_counts_sum_to_n(self):
+        probs = [0.1, 0.2, 0.8, 0.9]
+        bins = reliability_bins([0, 0, 1, 1], probs, n_bins=4)
+        assert sum(b.count for b in bins) == 4
+
+    def test_empty_bins_omitted(self):
+        bins = reliability_bins([1, 1], [0.95, 0.99], n_bins=10)
+        assert len(bins) == 1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_bins([1], [0.5], n_bins=0)
+
+
+class TestEce:
+    def test_perfectly_calibrated_near_zero(self):
+        rng = np.random.default_rng(9)
+        probs = rng.uniform(0, 1, 5000)
+        y = (rng.uniform(0, 1, 5000) < probs).astype(int)
+        assert expected_calibration_error(y, probs) < 0.05
+
+    def test_overconfident_scores_high(self):
+        # Claims certainty but is right only 60% of the time.
+        y = [1] * 6 + [0] * 4
+        probs = [0.99] * 10
+        assert expected_calibration_error(y, probs) > 0.3
+
+
+class TestPlattScaler:
+    def _overconfident_data(self, n=400, seed=10):
+        """True P(y=1|score) is milder than the overconfident score."""
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(0.01, 0.99, n)
+        # Overconfident reported score: sharpen the true probability.
+        true_p = 0.3 + 0.4 * raw
+        y = (rng.uniform(0, 1, n) < true_p).astype(int)
+        return raw, y
+
+    def test_calibration_reduces_brier(self):
+        raw, y = self._overconfident_data()
+        scaler = PlattScaler()
+        calibrated = scaler.fit_transform(raw, y)
+        assert brier_score(y, calibrated) < brier_score(y, raw)
+
+    def test_calibration_reduces_ece(self):
+        raw, y = self._overconfident_data()
+        calibrated = PlattScaler().fit_transform(raw, y)
+        assert expected_calibration_error(y, calibrated) < (
+            expected_calibration_error(y, raw)
+        )
+
+    def test_transform_is_monotone(self):
+        raw, y = self._overconfident_data()
+        scaler = PlattScaler().fit(raw, y)
+        grid = np.linspace(0.01, 0.99, 50)
+        out = scaler.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12) or np.all(
+            np.diff(out) <= 1e-12
+        )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit([0.2, 0.8], [1, 1])
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PlattScaler().transform([0.5])
+
+    def test_outputs_are_probabilities(self):
+        raw, y = self._overconfident_data()
+        calibrated = PlattScaler().fit_transform(raw, y)
+        assert np.all((calibrated >= 0) & (calibrated <= 1))
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 1), st.floats(0.01, 0.99)),
+    min_size=1, max_size=100,
+))
+def test_brier_bounded(pairs):
+    y = [a for a, _ in pairs]
+    p = [b for _, b in pairs]
+    assert 0.0 <= brier_score(y, p) <= 1.0

@@ -1,0 +1,78 @@
+"""EM naive Bayes (Nigam et al.) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.em_nb import EmNaiveBayes
+
+
+def text_like_data(seed=9):
+    """Counts over 6 'words': 0-2 positive-topic, 3-5 negative-topic."""
+    rng = np.random.default_rng(seed)
+
+    def draw(topic, n):
+        probs = (
+            [0.28, 0.28, 0.28, 0.06, 0.05, 0.05]
+            if topic == 1
+            else [0.06, 0.05, 0.05, 0.28, 0.28, 0.28]
+        )
+        return rng.multinomial(20, probs, size=n).astype(float)
+
+    X_labeled = sparse.csr_matrix(np.vstack([draw(1, 5), draw(0, 5)]))
+    y_labeled = np.array([1] * 5 + [0] * 5)
+    X_unlabeled = sparse.csr_matrix(np.vstack([draw(1, 60), draw(0, 60)]))
+    truth_unlabeled = np.array([1] * 60 + [0] * 60)
+    X_test = sparse.csr_matrix(np.vstack([draw(1, 40), draw(0, 40)]))
+    y_test = np.array([1] * 40 + [0] * 40)
+    return X_labeled, y_labeled, X_unlabeled, truth_unlabeled, X_test, y_test
+
+
+class TestEm:
+    def test_without_unlabeled_matches_plain_nb(self):
+        X_labeled, y_labeled, *_ = text_like_data()
+        model = EmNaiveBayes().fit(X_labeled, y_labeled)
+        assert model.n_iter_ == 0
+        assert np.array_equal(model.predict(X_labeled), y_labeled)
+
+    def test_unlabeled_data_does_not_hurt_clean_task(self):
+        (X_labeled, y_labeled, X_unlabeled, _,
+         X_test, y_test) = text_like_data()
+        supervised = EmNaiveBayes().fit(X_labeled, y_labeled)
+        semi = EmNaiveBayes().fit(X_labeled, y_labeled, X_unlabeled)
+        acc_supervised = (supervised.predict(X_test) == y_test).mean()
+        acc_semi = (semi.predict(X_test) == y_test).mean()
+        assert acc_semi >= acc_supervised - 0.05
+
+    def test_em_iterations_run_and_stop(self):
+        (X_labeled, y_labeled, X_unlabeled, *_ ) = text_like_data()
+        model = EmNaiveBayes(max_iter=8).fit(
+            X_labeled, y_labeled, X_unlabeled
+        )
+        assert 1 <= model.n_iter_ <= 8
+
+    def test_unlabeled_posteriors_match_truth(self):
+        (X_labeled, y_labeled, X_unlabeled,
+         truth, *_ ) = text_like_data()
+        model = EmNaiveBayes().fit(X_labeled, y_labeled, X_unlabeled)
+        agreement = (model.predict(X_unlabeled) == truth).mean()
+        assert agreement >= 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EmNaiveBayes(max_iter=0)
+        with pytest.raises(ValueError):
+            EmNaiveBayes(unlabeled_weight=0)
+
+    def test_predict_before_fit(self):
+        X = sparse.csr_matrix(np.eye(3))
+        with pytest.raises(RuntimeError):
+            EmNaiveBayes().predict(X)
+
+    def test_empty_unlabeled_block(self):
+        X_labeled, y_labeled, *_ = text_like_data()
+        empty = sparse.csr_matrix((0, X_labeled.shape[1]))
+        model = EmNaiveBayes().fit(X_labeled, y_labeled, empty)
+        assert model.n_iter_ == 0

@@ -1,0 +1,116 @@
+"""Voting-ensemble tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.ensemble import VotingEnsemble
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+
+def topic_data(seed=3, n=120):
+    rng = np.random.default_rng(seed)
+
+    def draw(kind, count):
+        probs = (
+            [0.3, 0.3, 0.2, 0.08, 0.07, 0.05]
+            if kind else [0.05, 0.07, 0.08, 0.2, 0.3, 0.3]
+        )
+        return rng.multinomial(20, probs, size=count).astype(float)
+
+    X = sparse.csr_matrix(np.vstack([draw(1, n // 2), draw(0, n // 2)]))
+    y = np.array([1] * (n // 2) + [0] * (n // 2))
+    return X, y
+
+
+class TestVotingEnsemble:
+    def test_default_members_separate(self):
+        X, y = topic_data()
+        ensemble = VotingEnsemble().fit(X, y)
+        assert (ensemble.predict(X) == y).mean() >= 0.9
+
+    def test_probabilities_valid(self):
+        X, y = topic_data()
+        proba = VotingEnsemble().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_single_member_matches_that_member(self):
+        X, y = topic_data()
+        ensemble = VotingEnsemble([MultinomialNaiveBayes]).fit(X, y)
+        solo = MultinomialNaiveBayes().fit(X, y)
+        assert np.allclose(
+            ensemble.predict_proba(X), solo.predict_proba(X)
+        )
+
+    def test_weights_shift_average(self):
+        X, y = topic_data()
+        heavy_first = VotingEnsemble(
+            [MultinomialNaiveBayes, MultinomialNaiveBayes],
+            weights=[10.0, 1.0],
+        ).fit(X, y)
+        # Identical members -> same output regardless of weights.
+        even = VotingEnsemble(
+            [MultinomialNaiveBayes, MultinomialNaiveBayes],
+        ).fit(X, y)
+        assert np.allclose(
+            heavy_first.predict_proba(X), even.predict_proba(X)
+        )
+
+    def test_sample_weight_forwarded(self):
+        X, y = topic_data()
+        weights = np.where(y == 1, 5.0, 1.0)
+        weighted = VotingEnsemble([MultinomialNaiveBayes]).fit(
+            X, y, sample_weight=weights
+        )
+        plain = VotingEnsemble([MultinomialNaiveBayes]).fit(X, y)
+        assert weighted.predict_proba(X)[:, 1].mean() > (
+            plain.predict_proba(X)[:, 1].mean()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VotingEnsemble([])
+        with pytest.raises(ValueError):
+            VotingEnsemble([MultinomialNaiveBayes], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            VotingEnsemble([MultinomialNaiveBayes], weights=[-1.0])
+
+    def test_predict_before_fit(self):
+        X, _ = topic_data()
+        with pytest.raises(RuntimeError):
+            VotingEnsemble().predict(X)
+
+    def test_usable_in_trigger_classifier(self):
+        """The ensemble drops into the denoising pipeline."""
+        from repro.core.classifier import TriggerEventClassifier
+        from repro.core.snippets import Snippet
+        from repro.core.training import AnnotatedSnippet
+        from repro.text.annotator import Annotator
+
+        annotator = Annotator()
+
+        def item(text, key):
+            return AnnotatedSnippet(
+                snippet=Snippet(doc_id=key, index=0, sentences=(text,)),
+                annotated=annotator.annotate(text),
+            )
+
+        positives = [
+            item(f"{a} agreed to acquire {b} for $5 billion.", f"p{i}")
+            for i, (a, b) in enumerate(
+                [("Acme Inc", "Globex Corp"),
+                 ("Initech Ltd", "Hooli Systems")] * 5
+            )
+        ]
+        negatives = [
+            item("a quiet afternoon of gardening and weather.", f"n{i}")
+            for i in range(10)
+        ]
+        clf = TriggerEventClassifier(
+            "ma", classifier_factory=VotingEnsemble
+        )
+        clf.fit(positives, negatives)
+        assert clf.score(positives[:2]).min() > 0.5

@@ -1,0 +1,97 @@
+"""Logistic regression + Lee-Liu weighted PU learning tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.logreg import LogisticRegression, fit_pu_weighted
+
+
+def blobs(seed=7, n=60):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=[1.5, 1.0], scale=0.5, size=(n, 2))
+    neg = rng.normal(loc=[-1.5, -1.0], scale=0.5, size=(n, 2))
+    X = sparse.csr_matrix(np.vstack([pos, neg]))
+    y = np.array([1] * n + [0] * n)
+    return X, y
+
+
+class TestTraining:
+    def test_separable_accuracy(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.95
+
+    def test_converges_before_max_iter_on_easy_data(self):
+        X, y = blobs()
+        model = LogisticRegression(max_iter=500, tol=1e-5).fit(X, y)
+        assert model.n_iter_ < 500
+
+    def test_probabilities_calibrated_direction(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)[:, 1]
+        assert proba[y == 1].mean() > proba[y == 0].mean()
+
+    def test_l2_shrinks_weights(self):
+        X, y = blobs()
+        loose = LogisticRegression(l2=1e-6).fit(X, y)
+        tight = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(
+            loose.weights_
+        )
+
+    def test_sample_weights_shift_boundary(self):
+        X, y = blobs()
+        # Weighting positives heavily should lift P(pos) everywhere.
+        weights = np.where(y == 1, 10.0, 1.0)
+        heavy = LogisticRegression().fit(X, y, sample_weight=weights)
+        plain = LogisticRegression().fit(X, y)
+        assert heavy.predict_proba(X)[:, 1].mean() > (
+            plain.predict_proba(X)[:, 1].mean()
+        )
+
+    def test_zero_weights_rejected(self):
+        X, y = blobs()
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(
+                X, y, sample_weight=np.zeros(X.shape[0])
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+    def test_predict_before_fit(self):
+        X, _ = blobs()
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(X)
+
+
+class TestPuLearning:
+    def test_recovers_positives_hidden_in_unlabeled(self):
+        rng = np.random.default_rng(3)
+        pos = rng.normal(loc=[1.5, 1.0], scale=0.5, size=(40, 2))
+        hidden_pos = rng.normal(loc=[1.5, 1.0], scale=0.5, size=(20, 2))
+        neg = rng.normal(loc=[-1.5, -1.0], scale=0.5, size=(120, 2))
+        unlabeled = np.vstack([hidden_pos, neg])
+        model = fit_pu_weighted(
+            sparse.csr_matrix(pos),
+            sparse.csr_matrix(unlabeled),
+            unlabeled_weight=0.4,
+        )
+        hidden_predictions = model.predict(sparse.csr_matrix(hidden_pos))
+        assert hidden_predictions.mean() >= 0.8
+        neg_predictions = model.predict(sparse.csr_matrix(neg))
+        assert neg_predictions.mean() <= 0.2
+
+    def test_invalid_weights_rejected(self):
+        X = sparse.csr_matrix(np.eye(2))
+        with pytest.raises(ValueError):
+            fit_pu_weighted(X, X, positive_weight=0)
+        with pytest.raises(ValueError):
+            fit_pu_weighted(X, X, unlabeled_weight=-1)

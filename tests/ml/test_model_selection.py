@@ -1,0 +1,105 @@
+"""Model-selection tests: stratified folds, CV, grid search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.model_selection import (
+    cross_validate_f1,
+    grid_search,
+    stratified_kfold_indices,
+)
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+
+
+def topic_data(seed=3, n=80):
+    rng = np.random.default_rng(seed)
+
+    def draw(kind, count):
+        probs = (
+            [0.3, 0.3, 0.2, 0.08, 0.07, 0.05]
+            if kind else [0.05, 0.07, 0.08, 0.2, 0.3, 0.3]
+        )
+        return rng.multinomial(20, probs, size=count).astype(float)
+
+    X = sparse.csr_matrix(np.vstack([draw(1, n // 4), draw(0, 3 * n // 4)]))
+    y = np.array([1] * (n // 4) + [0] * (3 * n // 4))
+    return X, y
+
+
+class TestStratifiedKfold:
+    def test_partitions_everything(self):
+        _, y = topic_data()
+        seen = []
+        for train_idx, test_idx in stratified_kfold_indices(y, 4):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx)
+        assert sorted(seen) == list(range(len(y)))
+
+    def test_class_balance_preserved(self):
+        _, y = topic_data()
+        overall = y.mean()
+        for _, test_idx in stratified_kfold_indices(y, 4):
+            fold_rate = y[test_idx].mean()
+            assert abs(fold_rate - overall) < 0.1
+
+    def test_deterministic(self):
+        _, y = topic_data()
+        a = [tuple(t) for _, t in stratified_kfold_indices(y, 3, seed=1)]
+        b = [tuple(t) for _, t in stratified_kfold_indices(y, 3, seed=1)]
+        assert a == b
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices([0, 1], n_folds=1))
+
+    def test_more_folds_than_samples(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices([0, 1], n_folds=5))
+
+
+class TestCrossValidate:
+    def test_separable_data_scores_high(self):
+        X, y = topic_data()
+        result = cross_validate_f1(MultinomialNaiveBayes, X, y, 4)
+        assert result.mean_f1 >= 0.8
+        assert len(result.fold_f1) == 4
+        assert result.std_f1 >= 0.0
+
+    def test_mean_matches_folds(self):
+        X, y = topic_data()
+        result = cross_validate_f1(MultinomialNaiveBayes, X, y, 4)
+        assert result.mean_f1 == pytest.approx(
+            float(np.mean(result.fold_f1)), abs=1e-6
+        )
+
+
+class TestGridSearch:
+    def test_finds_best_alpha(self):
+        X, y = topic_data()
+        result = grid_search(
+            MultinomialNaiveBayes,
+            {"alpha": [0.01, 1.0, 100.0]},
+            X, y, n_folds=4,
+        )
+        assert result.best_params["alpha"] in (0.01, 1.0, 100.0)
+        assert len(result.table) == 3
+        assert result.best.mean_f1 == max(
+            r.mean_f1 for _, r in result.table
+        )
+
+    def test_multi_parameter_grid(self):
+        X, y = topic_data()
+        result = grid_search(
+            MultinomialNaiveBayes,
+            {"alpha": [0.5, 2.0]},
+            X, y, n_folds=3,
+        )
+        assert {"alpha"} == set(result.best_params)
+
+    def test_empty_grid_rejected(self):
+        X, y = topic_data()
+        with pytest.raises(ValueError):
+            grid_search(MultinomialNaiveBayes, {}, X, y)

@@ -1,0 +1,132 @@
+"""Naive Bayes tests: both event models, weights, smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+
+
+def toy_data():
+    """Separable two-class count data: feature 0/1 positive, 2/3 negative."""
+    X = sparse.csr_matrix(np.array([
+        [3, 1, 0, 0],
+        [2, 2, 0, 0],
+        [1, 3, 0, 1],
+        [0, 0, 2, 2],
+        [0, 1, 3, 1],
+        [0, 0, 1, 3],
+    ], dtype=float))
+    y = np.array([1, 1, 1, 0, 0, 0])
+    return X, y
+
+
+@pytest.mark.parametrize("model_cls", [
+    MultinomialNaiveBayes, BernoulliNaiveBayes,
+])
+class TestCommonBehaviour:
+    def test_fits_and_separates(self, model_cls):
+        X, y = toy_data()
+        model = model_cls().fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_predict_proba_rows_sum_to_one(self, model_cls):
+        X, y = toy_data()
+        model = model_cls().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (6, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_before_fit_raises(self, model_cls):
+        X, _ = toy_data()
+        with pytest.raises(RuntimeError):
+            model_cls().predict(X)
+
+    def test_label_validation(self, model_cls):
+        X, _ = toy_data()
+        with pytest.raises(ValueError):
+            model_cls().fit(X, np.array([0, 1, 2, 0, 1, 2]))
+
+    def test_shape_mismatch_rejected(self, model_cls):
+        X, _ = toy_data()
+        with pytest.raises(ValueError):
+            model_cls().fit(X, np.array([0, 1]))
+
+    def test_invalid_alpha(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(alpha=0)
+
+    def test_unseen_features_do_not_crash(self, model_cls):
+        X, y = toy_data()
+        model = model_cls().fit(X, y)
+        X_new = sparse.csr_matrix(np.array([[0, 0, 0, 0]], dtype=float))
+        assert model.predict(X_new).shape == (1,)
+
+    def test_sample_weight_shifts_prior(self, model_cls):
+        X, y = toy_data()
+        heavy_pos = model_cls().fit(
+            X, y, sample_weight=np.array([10, 10, 10, 1, 1, 1.0])
+        )
+        prior_ratio = (
+            heavy_pos.class_log_prior_[1] - heavy_pos.class_log_prior_[0]
+        )
+        balanced = model_cls().fit(X, y)
+        balanced_ratio = (
+            balanced.class_log_prior_[1] - balanced.class_log_prior_[0]
+        )
+        assert prior_ratio > balanced_ratio
+
+
+class TestMultinomialSpecifics:
+    def test_matches_hand_computed_posterior(self):
+        # One feature, pure classes: P(f|1)=(3+1)/(3+2)=0.8 with alpha=1
+        # over 2 features.
+        X = sparse.csr_matrix(np.array([[3.0, 0.0], [0.0, 3.0]]))
+        y = np.array([1, 0])
+        model = MultinomialNaiveBayes(alpha=1.0).fit(X, y)
+        expected_p_f0_given_1 = (3 + 1) / (3 + 2)
+        assert np.exp(
+            model.feature_log_prob_[1, 0]
+        ) == pytest.approx(expected_p_f0_given_1)
+
+    def test_count_magnitude_matters(self):
+        X = sparse.csr_matrix(np.array([[5.0, 1.0], [1.0, 5.0]]))
+        y = np.array([1, 0])
+        model = MultinomialNaiveBayes().fit(X, y)
+        strong = sparse.csr_matrix(np.array([[10.0, 0.0]]))
+        weak = sparse.csr_matrix(np.array([[1.0, 0.0]]))
+        assert (
+            model.predict_proba(strong)[0, 1]
+            > model.predict_proba(weak)[0, 1]
+        )
+
+    def test_higher_alpha_flattens_likelihoods(self):
+        X, y = toy_data()
+        sharp = MultinomialNaiveBayes(alpha=0.1).fit(X, y)
+        flat = MultinomialNaiveBayes(alpha=100.0).fit(X, y)
+        spread_sharp = np.ptp(sharp.feature_log_prob_)
+        spread_flat = np.ptp(flat.feature_log_prob_)
+        assert spread_flat < spread_sharp
+
+
+class TestBernoulliSpecifics:
+    def test_counts_are_binarized(self):
+        X_counts = sparse.csr_matrix(np.array([[9.0, 0.0], [0.0, 9.0]]))
+        X_binary = sparse.csr_matrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        y = np.array([1, 0])
+        a = BernoulliNaiveBayes().fit(X_counts, y)
+        b = BernoulliNaiveBayes().fit(X_binary, y)
+        assert np.allclose(a._log_p, b._log_p)
+
+    def test_absence_is_evidence(self):
+        # Feature 1 present in every negative: its absence should push
+        # toward the positive class.
+        X = sparse.csr_matrix(np.array([
+            [1.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0], [0.0, 1.0],
+        ]))
+        y = np.array([1, 1, 0, 0, 0])
+        model = BernoulliNaiveBayes().fit(X, y)
+        missing_both = sparse.csr_matrix(np.array([[1.0, 0.0]]))
+        assert model.predict(missing_both)[0] == 1

@@ -1,0 +1,170 @@
+"""Noise-tolerant training tests: ETAP iterative denoiser, Brodley-Friedl."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.noise import (
+    IterativeNoiseReducer,
+    brodley_friedl_filter,
+)
+
+
+def noisy_pu_setup(seed=13, n_true=60, n_noise=25, n_neg=200):
+    """Noisy positives = true positives + background contamination."""
+    rng = np.random.default_rng(seed)
+
+    def topic(kind, n):
+        probs = (
+            [0.30, 0.30, 0.20, 0.07, 0.07, 0.06]
+            if kind == "pos"
+            else [0.06, 0.07, 0.07, 0.20, 0.30, 0.30]
+        )
+        return rng.multinomial(25, probs, size=n).astype(float)
+
+    X_true = topic("pos", n_true)
+    X_contamination = topic("neg", n_noise)
+    X_noisy = sparse.csr_matrix(np.vstack([X_true, X_contamination]))
+    X_negative = sparse.csr_matrix(topic("neg", n_neg))
+    truth_mask = np.array([True] * n_true + [False] * n_noise)
+    return X_noisy, X_negative, truth_mask
+
+
+class TestIterativeReducer:
+    def test_drops_contamination(self):
+        X_noisy, X_negative, truth = noisy_pu_setup()
+        result = IterativeNoiseReducer(max_iter=4).fit(X_noisy, X_negative)
+        dropped = ~result.kept_mask
+        # Most of what was dropped is genuine contamination.
+        assert dropped.sum() > 0
+        precision_of_drop = (~truth)[dropped].mean()
+        assert precision_of_drop >= 0.8
+
+    def test_keeps_true_positives(self):
+        X_noisy, X_negative, truth = noisy_pu_setup()
+        result = IterativeNoiseReducer(max_iter=4).fit(X_noisy, X_negative)
+        assert result.kept_mask[truth].mean() >= 0.9
+
+    def test_history_recorded(self):
+        X_noisy, X_negative, _ = noisy_pu_setup()
+        result = IterativeNoiseReducer(max_iter=3).fit(
+            X_noisy, X_negative
+        )
+        assert 1 <= result.n_iterations <= 3
+        for entry in result.history:
+            assert entry.kept_noisy + entry.dropped_noisy == (
+                X_noisy.shape[0]
+            )
+
+    def test_converges_early_when_stable(self):
+        X_noisy, X_negative, _ = noisy_pu_setup()
+        result = IterativeNoiseReducer(
+            max_iter=10, min_change=0.01
+        ).fit(X_noisy, X_negative)
+        assert result.n_iterations < 10
+
+    def test_final_model_is_usable(self):
+        X_noisy, X_negative, truth = noisy_pu_setup()
+        result = IterativeNoiseReducer().fit(X_noisy, X_negative)
+        predictions = result.model.predict(X_noisy)
+        assert (predictions[truth] == 1).mean() >= 0.9
+
+    def test_pure_positive_oversampling_used(self):
+        X_noisy, X_negative, _ = noisy_pu_setup()
+        X_pure = X_noisy[:5]
+        result = IterativeNoiseReducer(oversample_pure=3).fit(
+            X_noisy, X_negative, X_pure
+        )
+        assert result.model is not None
+
+    def test_min_kept_floor(self):
+        # All-noise positives: the guard keeps at least min_kept rows.
+        rng = np.random.default_rng(0)
+        X_noisy = sparse.csr_matrix(
+            rng.multinomial(20, [1 / 6] * 6, size=12).astype(float)
+        )
+        X_negative = sparse.csr_matrix(
+            rng.multinomial(20, [1 / 6] * 6, size=200).astype(float)
+        )
+        result = IterativeNoiseReducer(min_kept=5).fit(
+            X_noisy, X_negative
+        )
+        assert result.kept_mask.sum() >= 5
+
+    def test_empty_noisy_set_rejected(self):
+        X = sparse.csr_matrix((0, 4))
+        N = sparse.csr_matrix(np.eye(4))
+        with pytest.raises(ValueError):
+            IterativeNoiseReducer().fit(X, N)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IterativeNoiseReducer(max_iter=0)
+        with pytest.raises(ValueError):
+            IterativeNoiseReducer(oversample_pure=0)
+
+
+class TestBrodleyFriedl:
+    def test_flags_mislabeled_instances(self):
+        rng = np.random.default_rng(21)
+
+        def topic(kind, n):
+            probs = (
+                [0.30, 0.30, 0.20, 0.07, 0.07, 0.06]
+                if kind == "pos"
+                else [0.06, 0.07, 0.07, 0.20, 0.30, 0.30]
+            )
+            return rng.multinomial(25, probs, size=n).astype(float)
+
+        X = sparse.csr_matrix(np.vstack([
+            topic("pos", 50), topic("neg", 50), topic("neg", 12),
+        ]))
+        # Last 12 rows are negative-topic but labeled positive.
+        y = np.array([1] * 50 + [0] * 50 + [1] * 12)
+        keep = brodley_friedl_filter(X, y, n_folds=4)
+        flagged = ~keep
+        assert flagged[100:].mean() >= 0.7  # mislabeled caught
+        assert flagged[:100].mean() <= 0.15  # clean data kept
+
+    def test_consensus_is_more_conservative(self):
+        from repro.ml.naive_bayes import (
+            BernoulliNaiveBayes,
+            MultinomialNaiveBayes,
+        )
+
+        rng = np.random.default_rng(4)
+        X = sparse.csr_matrix(
+            rng.multinomial(20, [1 / 4] * 4, size=80).astype(float)
+        )
+        y = rng.integers(0, 2, size=80)
+        factories = [MultinomialNaiveBayes, BernoulliNaiveBayes]
+        majority_kept = brodley_friedl_filter(
+            X, y, factories, consensus=False
+        ).sum()
+        consensus_kept = brodley_friedl_filter(
+            X, y, factories, consensus=True
+        ).sum()
+        assert consensus_kept >= majority_kept
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        X = sparse.csr_matrix(
+            rng.multinomial(20, [1 / 4] * 4, size=40).astype(float)
+        )
+        y = rng.integers(0, 2, size=40)
+        a = brodley_friedl_filter(X, y, seed=1)
+        b = brodley_friedl_filter(X, y, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_invalid_folds(self):
+        X = sparse.csr_matrix(np.eye(4))
+        y = np.array([0, 1, 0, 1])
+        with pytest.raises(ValueError):
+            brodley_friedl_filter(X, y, n_folds=1)
+
+    def test_shape_mismatch(self):
+        X = sparse.csr_matrix(np.eye(4))
+        with pytest.raises(ValueError):
+            brodley_friedl_filter(X, np.array([0, 1]))

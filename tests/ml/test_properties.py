@@ -1,0 +1,119 @@
+"""Property-based invariants across the classifier implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.ml.logreg import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+from repro.ml.svm import LinearSvm
+
+
+@st.composite
+def count_datasets(draw):
+    """Small two-class count matrices with both classes present."""
+    n_features = draw(st.integers(2, 6))
+    n_pos = draw(st.integers(2, 8))
+    n_neg = draw(st.integers(2, 8))
+    rows = []
+    for _ in range(n_pos + n_neg):
+        rows.append([
+            draw(st.integers(0, 5)) for _ in range(n_features)
+        ])
+    X = np.array(rows, dtype=float)
+    # Guarantee at least one non-zero per row so models have evidence.
+    X[X.sum(axis=1) == 0, 0] = 1.0
+    y = np.array([1] * n_pos + [0] * n_neg)
+    return sparse.csr_matrix(X), y
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_datasets())
+def test_nb_probabilities_valid(data):
+    X, y = data
+    for model_cls in (MultinomialNaiveBayes, BernoulliNaiveBayes):
+        model = model_cls().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_datasets())
+def test_nb_predictions_match_argmax_of_proba(data):
+    X, y = data
+    model = MultinomialNaiveBayes().fit(X, y)
+    proba = model.predict_proba(X)
+    assert np.array_equal(model.predict(X), proba.argmax(axis=1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_datasets())
+def test_multinomial_nb_row_permutation_invariant(data):
+    """Training-set row order must not change the fitted model."""
+    X, y = data
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(X.shape[0])
+    a = MultinomialNaiveBayes().fit(X, y)
+    b = MultinomialNaiveBayes().fit(X[perm], y[perm])
+    assert np.allclose(a.feature_log_prob_, b.feature_log_prob_)
+    assert np.allclose(a.class_log_prior_, b.class_log_prior_)
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_datasets(), st.integers(2, 5))
+def test_multinomial_nb_duplicating_data_is_invariant(data, k):
+    """Replicating every sample k times leaves the model unchanged."""
+    X, y = data
+    X_rep = sparse.vstack([X] * k)
+    y_rep = np.concatenate([y] * k)
+    a = MultinomialNaiveBayes(alpha=1.0).fit(X, y)
+    b = MultinomialNaiveBayes(alpha=1.0).fit(
+        X, y, sample_weight=np.full(X.shape[0], float(k))
+    )
+    c = MultinomialNaiveBayes(alpha=1.0).fit(X_rep, y_rep)
+    # Weighted fit == replicated fit (likelihoods and priors).
+    assert np.allclose(b.feature_log_prob_, c.feature_log_prob_)
+    assert np.allclose(b.class_log_prior_, c.class_log_prior_)
+    # Priors also match the unreplicated fit (ratios unchanged).
+    assert np.allclose(a.class_log_prior_, c.class_log_prior_)
+
+
+@settings(max_examples=15, deadline=None)
+@given(count_datasets())
+def test_logreg_decision_matches_probability_half(data):
+    X, y = data
+    model = LogisticRegression(max_iter=50).fit(X, y)
+    margins = model.decision_function(X)
+    proba = model.predict_proba(X)[:, 1]
+    assert np.array_equal(margins >= 0, proba >= 0.5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(count_datasets())
+def test_svm_prediction_consistent_with_margin(data):
+    X, y = data
+    model = LinearSvm(epochs=2).fit(X, y)
+    margins = model.decision_function(X)
+    assert np.array_equal(
+        model.predict(X), (margins >= 0).astype(int)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(count_datasets())
+def test_models_are_deterministic(data):
+    X, y = data
+    for factory in (
+        MultinomialNaiveBayes,
+        BernoulliNaiveBayes,
+        lambda: LinearSvm(epochs=2, seed=3),
+        lambda: LogisticRegression(max_iter=30),
+    ):
+        a = factory().fit(X, y).predict_proba(X)
+        b = factory().fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)

@@ -1,0 +1,89 @@
+"""Linear SVM (Pegasos) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.svm import LinearSvm
+
+
+def separable(n_per_class=40, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(loc=[2.0, 2.0, 0.0], scale=0.4,
+                     size=(n_per_class, 3))
+    neg = rng.normal(loc=[-2.0, -2.0, 0.0], scale=0.4,
+                     size=(n_per_class, 3))
+    X = sparse.csr_matrix(np.vstack([pos, neg]))
+    y = np.array([1] * n_per_class + [0] * n_per_class)
+    return X, y
+
+
+class TestTraining:
+    def test_separable_data_high_accuracy(self):
+        X, y = separable()
+        model = LinearSvm(epochs=10).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy >= 0.95
+
+    def test_deterministic_given_seed(self):
+        X, y = separable()
+        a = LinearSvm(seed=3).fit(X, y)
+        b = LinearSvm(seed=3).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_different_seed_differs(self):
+        X, y = separable()
+        a = LinearSvm(seed=3).fit(X, y)
+        b = LinearSvm(seed=4).fit(X, y)
+        assert not np.allclose(a.weights_, b.weights_)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSvm(lam=0)
+        with pytest.raises(ValueError):
+            LinearSvm(epochs=0)
+
+    def test_predict_before_fit_raises(self):
+        X, _ = separable()
+        with pytest.raises(RuntimeError):
+            LinearSvm().predict(X)
+
+
+class TestImbalance:
+    def test_class_balancing_recovers_minority(self):
+        rng = np.random.default_rng(11)
+        pos = rng.normal(loc=[1.5, 1.5], scale=0.5, size=(8, 2))
+        neg = rng.normal(loc=[-1.5, -1.5], scale=0.5, size=(200, 2))
+        X = sparse.csr_matrix(np.vstack([pos, neg]))
+        y = np.array([1] * 8 + [0] * 200)
+        balanced = LinearSvm(epochs=20, balance_classes=True).fit(X, y)
+        recall = (balanced.predict(X)[:8] == 1).mean()
+        assert recall >= 0.75
+
+
+class TestScores:
+    def test_decision_function_sign_matches_predict(self):
+        X, y = separable()
+        model = LinearSvm().fit(X, y)
+        margins = model.decision_function(X)
+        assert np.array_equal(
+            (margins >= 0).astype(int), model.predict(X)
+        )
+
+    def test_predict_proba_shape_and_range(self):
+        X, y = separable()
+        model = LinearSvm().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_monotone_in_margin(self):
+        X, y = separable()
+        model = LinearSvm().fit(X, y)
+        margins = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(margins)
+        assert np.all(np.diff(proba[order]) >= -1e-12)

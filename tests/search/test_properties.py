@@ -1,0 +1,79 @@
+"""Property-based invariants for the search substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lexicon import OrientationLexicon
+from repro.search.engine import SearchEngine
+
+WORDS = ["acme", "globex", "deal", "merger", "ceo", "profit", "rain"]
+
+
+@st.composite
+def corpora(draw):
+    n_docs = draw(st.integers(1, 8))
+    documents = []
+    for index in range(n_docs):
+        words = draw(
+            st.lists(st.sampled_from(WORDS), min_size=1, max_size=15)
+        )
+        documents.append((f"d{index}", " ".join(words)))
+    return documents
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpora(), st.sampled_from(WORDS))
+def test_results_actually_contain_the_term(documents, term):
+    engine = SearchEngine()
+    texts = dict(documents)
+    for doc_key, text in documents:
+        engine.add_document(doc_key, text)
+    for hit in engine.search(term, top_k=10):
+        assert term in texts[hit.doc_key].split()
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpora(), st.sampled_from(WORDS), st.integers(1, 5))
+def test_top_k_is_a_prefix_of_larger_k(documents, term, k):
+    engine = SearchEngine()
+    for doc_key, text in documents:
+        engine.add_document(doc_key, text)
+    small = [h.doc_key for h in engine.search(term, top_k=k)]
+    large = [h.doc_key for h in engine.search(term, top_k=k + 5)]
+    assert large[: len(small)] == small
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpora())
+def test_phrase_results_subset_of_keyword_results(documents):
+    engine = SearchEngine()
+    for doc_key, text in documents:
+        engine.add_document(doc_key, text)
+    phrase_hits = {
+        h.doc_key for h in engine.search('"acme deal"', top_k=50)
+    }
+    keyword_hits = {
+        h.doc_key for h in engine.search("acme deal", top_k=50)
+    }
+    assert phrase_hits <= keyword_hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(WORDS), min_size=0, max_size=20),
+    st.lists(st.sampled_from(WORDS), min_size=0, max_size=20),
+)
+def test_lexicon_score_additive_over_concatenation(left, right):
+    """With single-word phrases only, score(a + b) = score(a) + score(b)."""
+    lexicon = OrientationLexicon(
+        {"profit": 1.0, "deal": 0.5, "rain": -1.0}
+    )
+    a = " ".join(left)
+    b = " ".join(right)
+    joined = (a + " " + b).strip()
+    assert lexicon.score(joined) == pytest.approx(
+        lexicon.score(a) + lexicon.score(b)
+    )

@@ -1,0 +1,79 @@
+"""Ranking-function tests: TF-IDF and BM25 behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.scoring import Bm25, TfIdf
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex()
+    idx.add_document("short", "acme deal")
+    idx.add_document("long", "acme " + "filler " * 50 + "deal")
+    idx.add_document("rare", "unique zebra phrase here")
+    idx.add_document("common1", "deal deal deal")
+    idx.add_document("common2", "deal talk")
+    return idx
+
+
+class TestBm25:
+    def test_zero_for_unknown_term(self, index):
+        assert Bm25().score_term(index, "zork", "short", 0) == 0.0
+
+    def test_zero_for_zero_tf(self, index):
+        assert Bm25().score_term(index, "acme", "short", 0) == 0.0
+
+    def test_rare_term_outscores_common(self, index):
+        bm25 = Bm25()
+        rare = bm25.score_term(index, "zebra", "rare", 1)
+        common = bm25.score_term(index, "deal", "common2", 1)
+        assert rare > common
+
+    def test_length_normalization(self, index):
+        bm25 = Bm25()
+        short = bm25.score_term(index, "acme", "short", 1)
+        long = bm25.score_term(index, "acme", "long", 1)
+        assert short > long
+
+    def test_tf_saturation(self, index):
+        bm25 = Bm25()
+        one = bm25.score_term(index, "deal", "common1", 1)
+        three = bm25.score_term(index, "deal", "common1", 3)
+        assert three > one
+        assert three < 3 * one  # saturating, not linear
+
+    def test_b_zero_disables_length_norm(self, index):
+        bm25 = Bm25(b=0.0)
+        short = bm25.score_term(index, "acme", "short", 1)
+        long = bm25.score_term(index, "acme", "long", 1)
+        assert short == pytest.approx(long)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Bm25(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25(b=1.5)
+
+
+class TestTfIdf:
+    def test_zero_for_unknown_term(self, index):
+        assert TfIdf().score_term(index, "zork", "short", 0) == 0.0
+
+    def test_rare_term_outscores_common(self, index):
+        tfidf = TfIdf()
+        rare = tfidf.score_term(index, "zebra", "rare", 1)
+        common = tfidf.score_term(index, "deal", "common2", 1)
+        assert rare > common
+
+    def test_sublinear_tf(self, index):
+        tfidf = TfIdf()
+        one = tfidf.score_term(index, "deal", "common1", 1)
+        three = tfidf.score_term(index, "deal", "common1", 3)
+        assert one < three < 3 * one
+
+    def test_all_scores_positive(self, index):
+        tfidf = TfIdf()
+        assert tfidf.score_term(index, "deal", "common1", 2) > 0

@@ -1,0 +1,61 @@
+"""Query-biased snippet tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.snippeting import best_snippet
+
+DOCUMENT = (
+    "Acme Inc is headquartered in Boston. "
+    "The company sells databases to banks. "
+    "Acme Inc named Mary Jones its new CEO on Monday. "
+    "Shares closed higher after the announcement. "
+    "The weather stayed mild."
+)
+
+
+class TestBestSnippet:
+    def test_picks_matching_window(self):
+        snippet = best_snippet(DOCUMENT, '"new ceo"')
+        assert "new CEO" in snippet.text
+        assert snippet.score > 0
+
+    def test_phrase_outweighs_scattered_terms(self):
+        text = (
+            "A new strategy and a CEO were discussed separately. "
+            "The board named a new CEO yesterday."
+        )
+        snippet = best_snippet(text, '"new ceo"', window=1)
+        assert snippet.text == "The board named a new CEO yesterday."
+
+    def test_highlighting_marks_terms(self):
+        snippet = best_snippet(DOCUMENT, "ceo monday")
+        assert "**CEO**" in snippet.highlighted
+        assert "**Monday.**" in snippet.highlighted or (
+            "**Monday**" in snippet.highlighted
+        )
+
+    def test_no_match_returns_lead(self):
+        snippet = best_snippet(DOCUMENT, "zebra unicorns")
+        assert snippet.score == 0.0
+        assert snippet.text.startswith("Acme Inc is headquartered")
+
+    def test_empty_document(self):
+        snippet = best_snippet("", '"new ceo"')
+        assert snippet.text == ""
+
+    def test_window_size_respected(self):
+        snippet = best_snippet(DOCUMENT, '"new ceo"', window=1)
+        assert snippet.text == (
+            "Acme Inc named Mary Jones its new CEO on Monday."
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            best_snippet(DOCUMENT, "x", window=0)
+
+    def test_earliest_window_wins_ties(self):
+        text = "First tie sentence here. Second tie sentence here."
+        snippet = best_snippet(text, "tie", window=1)
+        assert snippet.text == "First tie sentence here."

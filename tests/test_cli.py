@@ -1,0 +1,156 @@
+"""CLI tests: the gather -> train -> extract -> report workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    ws = tmp_path_factory.mktemp("etap-ws")
+    code = main([
+        "gather", "--workspace", str(ws), "--docs", "500",
+        "--seed", "3",
+    ])
+    assert code == 0
+    code = main([
+        "train", "--workspace", str(ws),
+        "--top-k", "60", "--negatives", "1000",
+    ])
+    assert code == 0
+    return ws
+
+
+class TestGather:
+    def test_store_written(self, workspace):
+        assert (workspace / "store.jsonl").exists()
+
+    def test_gather_output(self, workspace, capsys):
+        main(["gather", "--workspace", str(workspace), "--docs", "100"])
+        out = capsys.readouterr().out
+        assert "gathered 100 documents" in out
+        # Restore the 500-doc store for the later stages.
+        main([
+            "gather", "--workspace", str(workspace), "--docs", "500",
+            "--seed", "3",
+        ])
+
+
+class TestTrain:
+    def test_models_written(self, workspace):
+        models = list((workspace / "models").glob("*.classifier.json"))
+        assert len(models) == 3
+
+    def test_train_before_gather_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--workspace", str(tmp_path / "empty")])
+
+
+class TestExtract:
+    def test_extract_all_drivers(self, workspace, capsys):
+        code = main([
+            "extract", "--workspace", str(workspace), "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mergers_acquisitions" in out
+        assert "change_in_management" in out
+        assert "Rank" in out
+
+    def test_extract_single_driver(self, workspace, capsys):
+        code = main([
+            "extract", "--workspace", str(workspace),
+            "--driver", "revenue_growth", "--top", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "revenue_growth" in out
+        assert "mergers_acquisitions" not in out
+
+    def test_unknown_driver_fails(self, workspace):
+        with pytest.raises(SystemExit):
+            main([
+                "extract", "--workspace", str(workspace),
+                "--driver", "steel_output",
+            ])
+
+    def test_extract_before_train_fails(self, tmp_path, capsys):
+        ws = tmp_path / "fresh"
+        main(["gather", "--workspace", str(ws), "--docs", "50"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["extract", "--workspace", str(ws)])
+
+
+class TestReport:
+    def test_company_report(self, workspace, capsys):
+        code = main([
+            "report", "--workspace", str(workspace), "--top", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out
+        assert "Company" in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--docs", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trigger events per driver" in out
+        assert "top leads" in out
+
+
+class TestParser:
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_available(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestStats:
+    def test_stats_output(self, capsys):
+        code = main(["stats", "--docs", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "documents:           200" in out
+        assert "trigger documents:" in out
+
+
+class TestReproduce:
+    def test_reproduce_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main([
+            "reproduce", "--out", str(out_path), "--profile", "small",
+        ])
+        assert code == 0
+        text = out_path.read_text(encoding="utf-8")
+        assert "Table 1" in text
+        assert "Figure 8" in text
+
+
+class TestIndexCache:
+    def test_gather_writes_index_cache(self, workspace):
+        assert (workspace / "index.json").exists()
+
+    def test_report_with_industry(self, workspace, capsys):
+        code = main([
+            "report", "--workspace", str(workspace),
+            "--industry", "steel", "--top", "3",
+        ])
+        assert code == 0
+        assert "MRR" in capsys.readouterr().out
+
+    def test_report_with_unknown_industry(self, workspace):
+        with pytest.raises(KeyError):
+            main([
+                "report", "--workspace", str(workspace),
+                "--industry", "buggy-whips",
+            ])

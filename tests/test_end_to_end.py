@@ -1,0 +1,39 @@
+"""Full-pipeline end-to-end test: the README quickstart, verified."""
+
+from __future__ import annotations
+
+from repro import Etap, EtapConfig, build_web
+from repro.corpus.generator import CorpusConfig
+
+
+def test_quickstart_pipeline():
+    web = build_web(250, CorpusConfig(seed=99))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(
+            top_k_per_query=40, negative_sample_size=400
+        ),
+    )
+
+    report = etap.gather()
+    assert report.documents_stored == len(web.documents)
+
+    summaries = etap.train()
+    assert len(summaries) == 3
+    for summary in summaries.values():
+        assert summary.n_noisy_kept > 0
+
+    events = etap.extract_trigger_events()
+    assert any(events.values())
+
+    leads = etap.company_report(events)
+    assert leads
+    # Every reported company traces back to at least one trigger event.
+    companies_in_events = {
+        company
+        for driver_events in events.values()
+        for event in driver_events
+        for company in event.companies
+    }
+    for lead in leads:
+        assert lead.company in companies_in_events

@@ -1,0 +1,91 @@
+"""Crawl-text normalization tests."""
+
+from __future__ import annotations
+
+from repro.text.normalize import (
+    collapse_whitespace,
+    normalize_crawl_text,
+    normalize_punctuation,
+    remove_invisibles,
+    strip_tags,
+    unescape_entities,
+)
+
+
+class TestEntities:
+    def test_named_entities(self):
+        assert unescape_entities("Smith &amp; Jones") == "Smith & Jones"
+
+    def test_numeric_entities(self):
+        assert unescape_entities("it&#39;s") == "it's"
+
+
+class TestTags:
+    def test_inline_tags_removed(self):
+        assert strip_tags("<b>Acme</b> grew").strip() == "Acme  grew".strip()
+
+    def test_unclosed_angle_survives(self):
+        assert "<" in strip_tags("profits < costs")
+
+
+class TestPunctuation:
+    def test_curly_quotes(self):
+        assert normalize_punctuation("“Acme’s”") == "\"Acme's\""
+
+    def test_dashes(self):
+        assert normalize_punctuation("1980–1985") == "1980-1985"
+        assert normalize_punctuation("the deal — big") == "the deal - big"
+
+    def test_ellipsis(self):
+        assert normalize_punctuation("wait…") == "wait..."
+
+
+class TestInvisibles:
+    def test_soft_hyphen_removed(self):
+        assert remove_invisibles("acqui­sition") == "acquisition"
+
+    def test_zero_width_removed(self):
+        assert remove_invisibles("a​b") == "ab"
+
+    def test_newlines_preserved(self):
+        assert remove_invisibles("a\nb") == "a\nb"
+
+    def test_control_chars_removed(self):
+        assert remove_invisibles("a\x07b\x00c") == "abc"
+
+
+class TestWhitespace:
+    def test_runs_collapsed(self):
+        assert collapse_whitespace("a   b\t\tc") == "a b c"
+
+    def test_blank_lines_capped(self):
+        assert collapse_whitespace("a\n\n\n\n\nb") == "a\n\nb"
+
+    def test_stripped(self):
+        assert collapse_whitespace("  x  ") == "x"
+
+
+class TestFullPipeline:
+    def test_realistic_crawl_fragment(self):
+        raw = (
+            "<p>Acme&nbsp;Inc “acquired” Globex&amp;Co for­ "
+            "$4.5&nbsp;billion  —   sources said…</p>"
+        )
+        cleaned = normalize_crawl_text(raw)
+        assert "<p>" not in cleaned
+        assert '"acquired"' in cleaned
+        assert "&amp;" not in cleaned
+        assert "  " not in cleaned
+
+    def test_idempotent(self):
+        raw = "<i>“Quote”</i> &amp; more…"
+        once = normalize_crawl_text(raw)
+        assert normalize_crawl_text(once) == once
+
+    def test_tokenizer_friendly_output(self):
+        from repro.text.tokenizer import tokenize_words
+
+        raw = "Acme&nbsp;Inc ‘won’ — profits up 12%…"
+        words = tokenize_words(normalize_crawl_text(raw))
+        assert "Acme" in words
+        assert "12%" in words

@@ -1,0 +1,90 @@
+"""POS tagger tests: closed-class lexicon, suffix rules, context patches."""
+
+from __future__ import annotations
+
+from repro.text.pos import OPEN_CLASS_TAGS, tag
+
+
+def tags_of(text: str) -> list[tuple[str, str]]:
+    return [(item.text, item.tag) for item in tag(text)]
+
+
+class TestClosedClasses:
+    def test_determiner(self):
+        assert ("the", "dt") in tags_of("the company")
+
+    def test_preposition(self):
+        assert ("of", "in") in tags_of("head of sales")
+
+    def test_pronoun(self):
+        assert ("he", "prp") in tags_of("and he agreed")
+
+    def test_modal(self):
+        assert ("will", "md") in tags_of("it will merge")
+
+    def test_to_gets_own_tag(self):
+        assert ("to", "to") in tags_of("plans to acquire")
+
+    def test_conjunction(self):
+        assert ("and", "cc") in tags_of("mergers and acquisitions")
+
+
+class TestOpenClasses:
+    def test_known_verb(self):
+        assert ("acquired", "vb") in tags_of("the firm acquired a rival")
+
+    def test_ly_adverb(self):
+        assert ("sharply", "rb") in tags_of("fell sharply today")
+
+    def test_known_adjective(self):
+        assert ("strong", "jj") in tags_of("a strong quarter")
+
+    def test_capitalized_mid_sentence_is_proper_noun(self):
+        result = dict(tags_of("shares of Zykrandel rose"))
+        assert result["Zykrandel"] == "np"
+
+    def test_number_is_cd(self):
+        assert ("1998", "cd") in tags_of("founded in 1998")
+
+    def test_currency_is_cd(self):
+        assert ("$4.5", "cd") in tags_of("worth $4.5 billion")
+
+    def test_tion_suffix_noun(self):
+        result = dict(tags_of("a frobnication occurred"))
+        assert result["frobnication"] == "nn"
+
+    def test_ing_suffix_verb(self):
+        result = dict(tags_of("they were blorfing"))
+        assert result["blorfing"] == "vb"
+
+    def test_punctuation(self):
+        assert (".", "punct") in tags_of("Done.")
+
+
+class TestContextPatches:
+    def test_to_plus_known_verb(self):
+        result = dict(tags_of("agreed to merge soon"))
+        assert result["merge"] == "vb"
+
+    def test_modal_plus_known_verb(self):
+        result = dict(tags_of("it will grow"))
+        assert result["grow"] == "vb"
+
+    def test_sentence_initial_verb_not_proper_noun(self):
+        first = tag("Acquired assets were sold.")[0]
+        assert first.tag != "np" or first.text != "Acquired"
+
+
+class TestOpenClassConstant:
+    def test_matches_paper_categories(self):
+        assert set(OPEN_CLASS_TAGS) == {"vb", "rb", "nn", "np", "jj"}
+
+
+def test_every_token_receives_a_tag():
+    text = (
+        "Acme Corp acquired Globex Ltd for $4.5 billion on Monday, "
+        "and shares rose 12% after the announcement."
+    )
+    tagged = tag(text)
+    assert all(item.tag for item in tagged)
+    assert len(tagged) > 10

@@ -1,0 +1,146 @@
+"""Porter stemmer tests: canonical vocabulary cases + invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stem import PorterStemmer, stem
+
+#: Canonical input -> output pairs from Porter's published description.
+CANONICAL = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("digitizer", "digit"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", CANONICAL)
+def test_canonical_porter_cases(word, expected):
+    assert stem(word) == expected
+
+
+class TestDomainVocabulary:
+    def test_acquired_and_acquires_share_stem(self):
+        assert stem("acquired") == stem("acquires")
+
+    def test_appointed_and_appointment_diverge_reasonably(self):
+        # 'appointment' loses -ment, 'appointed' loses -ed.
+        assert stem("appointed") == "appoint"
+        assert stem("appointment") == "appoint"
+
+    def test_merger_vs_merged(self):
+        assert stem("merged") == "merg"
+        assert stem("merges") == "merg"
+
+    def test_short_words_untouched(self):
+        assert stem("at") == "at"
+        assert stem("an") == "an"
+
+    def test_non_alpha_untouched(self):
+        assert stem("12%") == "12%"
+        assert stem("$4.5") == "$4.5"
+
+    def test_case_folding(self):
+        assert stem("ACQUIRED") == stem("acquired")
+
+
+class TestCachingWrapper:
+    def test_wrapper_matches_function(self):
+        stemmer = PorterStemmer()
+        for word in ("acquisitions", "reported", "executives"):
+            assert stemmer.stem(word) == stem(word)
+
+    def test_stem_all_preserves_order(self):
+        stemmer = PorterStemmer()
+        words = ["acquired", "companies", "profits"]
+        assert stemmer.stem_all(words) == [stem(w) for w in words]
+
+    def test_cache_is_populated(self):
+        stemmer = PorterStemmer()
+        stemmer.stem("Growing")
+        assert "growing" in stemmer._cache
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+               max_size=30))
+def test_idempotent_for_most_words(word):
+    # Stemming an already-stemmed word must never raise and must return
+    # lowercase alphabetic output no longer than the input.
+    once = stem(word)
+    assert once == once.lower()
+    assert len(once) <= len(word)
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3,
+               max_size=20))
+def test_plural_maps_to_singular_stem(word):
+    # Porter treats -ies specially, so exclude -ie stems ("ties" -> "ti"
+    # but "tie" -> "tie"); every other regular plural folds to its
+    # singular's stem.
+    if not word.endswith("s") and not word.endswith("ie"):
+        assert stem(word + "s") == stem(word)

@@ -1,0 +1,41 @@
+"""Stop-word list tests."""
+
+from __future__ import annotations
+
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestMembership:
+    def test_function_words_present(self):
+        for word in ("the", "of", "and", "is", "was", "with"):
+            assert is_stopword(word)
+
+    def test_content_words_absent(self):
+        # Words that carry trigger-event signal must never be dropped.
+        for word in ("new", "acquired", "ceo", "revenue", "growth",
+                     "merger", "president"):
+            assert not is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_contractions_present(self):
+        assert is_stopword("don't")
+        assert is_stopword("it's")
+
+    def test_all_entries_lowercase(self):
+        assert all(word == word.lower() for word in STOPWORDS)
+
+
+class TestRemoval:
+    def test_removes_only_stopwords(self):
+        tokens = ["the", "board", "of", "Acme", "approved", "it"]
+        assert remove_stopwords(tokens) == ["board", "Acme", "approved"]
+
+    def test_empty_list(self):
+        assert remove_stopwords([]) == []
+
+    def test_preserves_order_and_duplicates(self):
+        tokens = ["growth", "the", "growth"]
+        assert remove_stopwords(tokens) == ["growth", "growth"]
