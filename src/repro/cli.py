@@ -11,6 +11,10 @@ process::
     python -m repro report  --workspace ws
 
 ``python -m repro demo`` runs everything in one go on a small corpus.
+
+Every subcommand takes ``--profile``, which traces the run and prints a
+per-stage tree (wall-time, items, throughput) to stderr; ``repro
+trace`` replays the demo pipeline and emits the same data as JSON.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.corpus.generator import CorpusConfig
 from repro.corpus.web import build_web
 from repro.evaluation.reporting import ascii_table, format_float
 from repro.gather.store import DocumentStore
+from repro.obs import NULL_TRACER, AnyTracer, StageReport, Tracer
 from repro.search.engine import SearchEngine
 
 STORE_FILE = "store.jsonl"
@@ -39,7 +44,15 @@ def _workspace(path: str) -> Path:
     return workspace
 
 
-def _load_etap(workspace: Path, config: EtapConfig) -> Etap:
+def _tracer(args: argparse.Namespace) -> AnyTracer:
+    return getattr(args, "tracer", None) or NULL_TRACER
+
+
+def _load_etap(
+    workspace: Path,
+    config: EtapConfig,
+    tracer: AnyTracer = NULL_TRACER,
+) -> Etap:
     """Rebuild an Etap from a workspace: store + (cached) index."""
     store_path = workspace / STORE_FILE
     if not store_path.exists():
@@ -52,14 +65,16 @@ def _load_etap(workspace: Path, config: EtapConfig) -> Etap:
     if index_path.exists():
         from repro.search.index import InvertedIndex
 
-        engine = SearchEngine(index=InvertedIndex.load_json(index_path))
+        engine = SearchEngine(
+            index=InvertedIndex.load_json(index_path), tracer=tracer
+        )
     else:
-        engine = SearchEngine()
+        engine = SearchEngine(tracer=tracer)
         for document in store:
             engine.add_document(
                 document.doc_id, document.text, document.title
             )
-    return Etap(store=store, engine=engine, config=config)
+    return Etap(store=store, engine=engine, config=config, tracer=tracer)
 
 
 def _config_from_args(args: argparse.Namespace) -> EtapConfig:
@@ -74,7 +89,7 @@ def _config_from_args(args: argparse.Namespace) -> EtapConfig:
 def cmd_gather(args: argparse.Namespace) -> int:
     workspace = _workspace(args.workspace)
     web = build_web(args.docs, CorpusConfig(seed=args.seed))
-    etap = Etap.from_web(web)
+    etap = Etap.from_web(web, tracer=_tracer(args))
     report = etap.gather()
     etap.store.save_jsonl(workspace / STORE_FILE)
     etap.engine.index.save_json(workspace / INDEX_FILE)
@@ -86,7 +101,7 @@ def cmd_gather(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     workspace = _workspace(args.workspace)
-    etap = _load_etap(workspace, _config_from_args(args))
+    etap = _load_etap(workspace, _config_from_args(args), _tracer(args))
     summaries = etap.train()
     paths = save_classifiers(etap.classifiers, workspace / MODELS_DIR)
     rows = [
@@ -108,7 +123,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def _load_trained_etap(args: argparse.Namespace) -> Etap:
     workspace = _workspace(args.workspace)
-    etap = _load_etap(workspace, _config_from_args(args))
+    etap = _load_etap(workspace, _config_from_args(args), _tracer(args))
     classifiers = load_classifiers(workspace / MODELS_DIR)
     if not classifiers:
         raise SystemExit(
@@ -172,6 +187,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     etap = Etap.from_web(
         web,
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+        tracer=_tracer(args),
     )
     etap.gather()
     etap.train()
@@ -207,10 +223,29 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.evaluation.report import write_report
 
     spec = (
-        DatasetSpec() if args.profile == "full" else DatasetSpec.small()
+        DatasetSpec() if args.scale == "full" else DatasetSpec.small()
     )
     path = write_report(args.out, spec=spec)
     print(f"wrote reproduction report -> {path}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay the demo pipeline under a tracer; emit the report as JSON."""
+    tracer = _tracer(args)
+    if not tracer.enabled:
+        tracer = Tracer()
+    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+        tracer=tracer,
+    )
+    etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    etap.company_report(events)
+    print(StageReport.from_tracer(tracer).to_json())
     return 0
 
 
@@ -222,16 +257,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="ETAP: automatic sales lead generation "
                     "(ICDE 2006 reproduction)",
     )
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile", action="store_true",
+        help="trace the run and print a per-stage tree "
+             "(wall-time, items, throughput) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gather = sub.add_parser("gather", help="crawl a synthetic web into "
-                                           "a workspace")
+    gather = sub.add_parser("gather", parents=[profiled],
+                            help="crawl a synthetic web into "
+                                 "a workspace")
     gather.add_argument("--workspace", required=True)
     gather.add_argument("--docs", type=int, default=1500)
     gather.add_argument("--seed", type=int, default=7)
     gather.set_defaults(func=cmd_gather)
 
-    train = sub.add_parser("train", help="train per-driver classifiers")
+    train = sub.add_parser("train", parents=[profiled],
+                           help="train per-driver classifiers")
     train.add_argument("--workspace", required=True)
     train.add_argument("--top-k", type=int, default=200,
                        dest="top_k",
@@ -239,16 +282,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--negatives", type=int, default=6000)
     train.set_defaults(func=cmd_train)
 
-    extract = sub.add_parser("extract", help="extract + rank trigger "
-                                             "events")
+    extract = sub.add_parser("extract", parents=[profiled],
+                             help="extract + rank trigger events")
     extract.add_argument("--workspace", required=True)
     extract.add_argument("--driver", default=None)
     extract.add_argument("--top", type=int, default=10)
     extract.add_argument("--threshold", type=float, default=None)
     extract.set_defaults(func=cmd_extract)
 
-    report = sub.add_parser("report", help="company-level lead list "
-                                           "(Equation 2)")
+    report = sub.add_parser("report", parents=[profiled],
+                            help="company-level lead list "
+                                 "(Equation 2)")
     report.add_argument("--workspace", required=True)
     report.add_argument("--top", type=int, default=15)
     report.add_argument(
@@ -257,29 +301,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=cmd_report)
 
-    demo = sub.add_parser("demo", help="end-to-end demo, no workspace")
+    demo = sub.add_parser("demo", parents=[profiled],
+                          help="end-to-end demo, no workspace")
     demo.add_argument("--docs", type=int, default=800)
     demo.add_argument("--seed", type=int, default=7)
     demo.set_defaults(func=cmd_demo)
 
     stats = sub.add_parser(
-        "stats", help="corpus statistics of a generated web"
+        "stats", parents=[profiled],
+        help="corpus statistics of a generated web",
     )
     stats.add_argument("--docs", type=int, default=2000)
     stats.add_argument("--seed", type=int, default=7)
     stats.set_defaults(func=cmd_stats)
 
     reproduce = sub.add_parser(
-        "reproduce",
+        "reproduce", parents=[profiled],
         help="regenerate every paper table/figure into a Markdown "
              "report",
     )
     reproduce.add_argument("--out", required=True)
     reproduce.add_argument(
-        "--profile", choices=["small", "full"], default="small",
+        "--scale", choices=["small", "full"], default="small",
         help="corpus scale: 'full' matches the paper's test counts",
     )
     reproduce.set_defaults(func=cmd_reproduce)
+
+    trace = sub.add_parser(
+        "trace", parents=[profiled],
+        help="replay the demo pipeline under a tracer and emit the "
+             "stage report as JSON",
+    )
+    trace.add_argument("--docs", type=int, default=800)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 
@@ -287,7 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profiling = getattr(args, "profile", False)
+    args.tracer = Tracer() if profiling else NULL_TRACER
+    with args.tracer.span(args.command):
+        code = args.func(args)
+    if profiling:
+        print(
+            StageReport.from_tracer(args.tracer).render(),
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,12 +23,17 @@ from repro.ml.noise import (
     DenoiseResult,
     IterativeNoiseReducer,
 )
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.text.stem import PorterStemmer
 
 
 @dataclass
 class TrainingSummary:
-    """What happened during training (exposed for experiments/benches)."""
+    """What happened during training (exposed for experiments/benches).
+
+    ``fit_seconds`` is wall time of the whole fit; it stays 0.0 under
+    the default null tracer (no clock reads on the uninstrumented path).
+    """
 
     driver_id: str
     n_noisy_positive: int
@@ -37,6 +42,7 @@ class TrainingSummary:
     n_negative: int
     n_iterations: int
     n_features: int
+    fit_seconds: float = 0.0
 
 
 class TriggerEventClassifier:
@@ -50,8 +56,10 @@ class TriggerEventClassifier:
         vectorizer_config: VectorizerConfig | None = None,
         max_denoise_iter: int = 2,
         oversample_pure: int = 3,
+        tracer: AnyTracer | None = None,
     ) -> None:
         self.driver_id = driver_id
+        self.tracer = tracer or NULL_TRACER
         self.policy = policy or AbstractionPolicy.paper_default()
         self._stemmer = PorterStemmer()
         self.vectorizer = Vectorizer(
@@ -94,18 +102,26 @@ class TriggerEventClassifier:
             raise ValueError("noisy positive set is empty")
         if not negative:
             raise ValueError("negative set is empty")
-        tokens_noisy = self._feature_lists(noisy_positive)
-        tokens_negative = self._feature_lists(negative)
-        tokens_pure = self._feature_lists(pure_positive)
+        with self.tracer.span(f"train.fit[{self.driver_id}]") as span:
+            tokens_noisy = self._feature_lists(noisy_positive)
+            tokens_negative = self._feature_lists(negative)
+            tokens_pure = self._feature_lists(pure_positive)
 
-        self.vectorizer.fit(tokens_noisy + tokens_negative + tokens_pure)
-        X_noisy = self.vectorizer.transform(tokens_noisy)
-        X_negative = self.vectorizer.transform(tokens_negative)
-        X_pure = (
-            self.vectorizer.transform(tokens_pure) if tokens_pure else None
-        )
+            self.vectorizer.fit(
+                tokens_noisy + tokens_negative + tokens_pure
+            )
+            X_noisy = self.vectorizer.transform(tokens_noisy)
+            X_negative = self.vectorizer.transform(tokens_negative)
+            X_pure = (
+                self.vectorizer.transform(tokens_pure)
+                if tokens_pure
+                else None
+            )
 
-        result = self._reducer.fit(X_noisy, X_negative, X_pure)
+            result = self._reducer.fit(X_noisy, X_negative, X_pure)
+            span.add_items(
+                len(noisy_positive) + len(negative) + len(pure_positive)
+            )
         self._model = result.model
         self.denoise_result = result
         self.summary = TrainingSummary(
@@ -116,6 +132,7 @@ class TriggerEventClassifier:
             n_negative=len(negative),
             n_iterations=result.n_iterations,
             n_features=self.vectorizer.n_features,
+            fit_seconds=span.duration,
         )
         return self
 
@@ -127,8 +144,11 @@ class TriggerEventClassifier:
             raise RuntimeError("classifier must be fit before scoring")
         if not items:
             return np.zeros(0)
-        X = self.vectorizer.transform(self._feature_lists(items))
-        return self._model.predict_proba(X)[:, 1]
+        with self.tracer.timed("classifier.score_seconds"):
+            X = self.vectorizer.transform(self._feature_lists(items))
+            probabilities = self._model.predict_proba(X)[:, 1]
+        self.tracer.count("classifier.snippets_scored", len(items))
+        return probabilities
 
     def predict(
         self, items: Sequence[AnnotatedSnippet], threshold: float = 0.5

@@ -54,6 +54,7 @@ from repro.features.abstraction import AbstractionPolicy
 from repro.gather.pipeline import DataGatherer, GatherReport
 from repro.gather.store import DocumentStore
 from repro.ml.noise import ClassifierFactory
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
 from repro.text.annotator import Annotator
 from repro.text.ner import NerConfig
@@ -87,12 +88,16 @@ class Etap:
         drivers: Sequence[SalesDriver] | None = None,
         config: EtapConfig | None = None,
         web: SyntheticWeb | None = None,
+        tracer: AnyTracer | None = None,
     ) -> None:
         self.config = config or EtapConfig()
         self.drivers = list(drivers) if drivers else builtin_drivers()
         self.store = store
         self.engine = engine
         self._web = web
+        self.tracer = tracer or NULL_TRACER
+        if engine.tracer is NULL_TRACER:
+            engine.tracer = self.tracer
         self.annotator = Annotator(self.config.ner)
         self.training = TrainingDataGenerator(
             store=store,
@@ -101,6 +106,7 @@ class Etap:
             snippet_generator=SnippetGenerator(
                 window=self.config.snippet_window
             ),
+            tracer=self.tracer,
         )
         self.normalizer = CompanyNormalizer()
         self.classifiers: dict[str, TriggerEventClassifier] = {}
@@ -114,16 +120,20 @@ class Etap:
         web: SyntheticWeb,
         drivers: Sequence[SalesDriver] | None = None,
         config: EtapConfig | None = None,
+        tracer: AnyTracer | None = None,
     ) -> "Etap":
         """Build an ETAP whose gather step crawls the given web."""
         config = config or EtapConfig()
-        gatherer = DataGatherer(web, max_pages=config.max_crawl_pages)
+        gatherer = DataGatherer(
+            web, max_pages=config.max_crawl_pages, tracer=tracer
+        )
         etap = cls(
             store=gatherer.store,
             engine=gatherer.engine,
             drivers=drivers,
             config=config,
             web=web,
+            tracer=tracer,
         )
         etap._gatherer = gatherer
         return etap
@@ -151,31 +161,36 @@ class Etap:
         if len(self.store) == 0:
             raise RuntimeError("gather() must run before train()")
         pure_positive = pure_positive or {}
-        negatives = self.training.negative_sample(
-            self.config.negative_sample_size, seed=negative_seed
-        )
-        summaries: dict[str, TrainingSummary] = {}
-        for driver in self.drivers:
-            noisy, report = self.training.noisy_positive(
-                driver, top_k_per_query=self.config.top_k_per_query
+        with self.tracer.span("train") as span:
+            negatives = self.training.negative_sample(
+                self.config.negative_sample_size, seed=negative_seed
             )
-            self.noisy_reports[driver.driver_id] = report
-            classifier = TriggerEventClassifier(
-                driver_id=driver.driver_id,
-                policy=self.config.policy,
-                classifier_factory=self.config.classifier_factory,
-                max_denoise_iter=self.config.max_denoise_iter,
-                oversample_pure=self.config.oversample_pure,
+            summaries: dict[str, TrainingSummary] = {}
+            for driver in self.drivers:
+                noisy, report = self.training.noisy_positive(
+                    driver, top_k_per_query=self.config.top_k_per_query
+                )
+                self.noisy_reports[driver.driver_id] = report
+                classifier = TriggerEventClassifier(
+                    driver_id=driver.driver_id,
+                    policy=self.config.policy,
+                    classifier_factory=self.config.classifier_factory,
+                    max_denoise_iter=self.config.max_denoise_iter,
+                    oversample_pure=self.config.oversample_pure,
+                    tracer=self.tracer,
+                )
+                classifier.fit(
+                    noisy_positive=noisy,
+                    negative=negatives,
+                    pure_positive=tuple(
+                        pure_positive.get(driver.driver_id, ())
+                    ),
+                )
+                self.classifiers[driver.driver_id] = classifier
+                summaries[driver.driver_id] = classifier.summary
+            span.add_items(
+                sum(s.n_noisy_positive for s in summaries.values())
             )
-            classifier.fit(
-                noisy_positive=noisy,
-                negative=negatives,
-                pure_positive=tuple(
-                    pure_positive.get(driver.driver_id, ())
-                ),
-            )
-            self.classifiers[driver.driver_id] = classifier
-            summaries[driver.driver_id] = classifier.summary
         return summaries
 
     def score_snippets(
@@ -200,32 +215,47 @@ class Etap:
         threshold = (
             self.config.trigger_threshold if threshold is None else threshold
         )
-        all_items: list[AnnotatedSnippet] = []
-        for doc_id in self.store.doc_ids():
-            if since_day is not None:
-                published = self.store.get(doc_id).metadata.get(
-                    "published_day"
-                )
-                if published is not None and published < since_day:
-                    continue
-            snippets = self.training.snippets_of_document(doc_id)
-            all_items.extend(self.training.annotate_snippets(snippets))
+        with self.tracer.span("extract") as extract_span:
+            all_items: list[AnnotatedSnippet] = []
+            with self.tracer.span("extract.annotate") as annotate_span:
+                for doc_id in self.store.doc_ids():
+                    if since_day is not None:
+                        published = self.store.get(doc_id).metadata.get(
+                            "published_day"
+                        )
+                        if published is not None and published < since_day:
+                            continue
+                    snippets = self.training.snippets_of_document(doc_id)
+                    all_items.extend(
+                        self.training.annotate_snippets(snippets)
+                    )
+                annotate_span.add_items(len(all_items))
 
-        events: dict[str, list[TriggerEvent]] = {}
-        for driver in self.drivers:
-            scores = self.score_snippets(driver.driver_id, all_items)
-            flagged = [
-                (item, score)
-                for item, score in zip(all_items, scores)
-                if score >= threshold
-            ]
-            driver_events = make_trigger_events(
-                driver.driver_id,
-                [item for item, _ in flagged],
-                [score for _, score in flagged],
-                normalizer=self.normalizer,
-            )
-            events[driver.driver_id] = rank_events(driver_events)
+            events: dict[str, list[TriggerEvent]] = {}
+            for driver in self.drivers:
+                with self.tracer.span(
+                    f"extract.score[{driver.driver_id}]"
+                ) as score_span:
+                    scores = self.score_snippets(
+                        driver.driver_id, all_items
+                    )
+                    flagged = [
+                        (item, score)
+                        for item, score in zip(all_items, scores)
+                        if score >= threshold
+                    ]
+                    driver_events = make_trigger_events(
+                        driver.driver_id,
+                        [item for item, _ in flagged],
+                        [score for _, score in flagged],
+                        normalizer=self.normalizer,
+                    )
+                    events[driver.driver_id] = rank_events(driver_events)
+                    score_span.add_items(len(all_items))
+                self.tracer.count(
+                    "extract.trigger_events", len(flagged)
+                )
+            extract_span.add_items(len(all_items))
         return events
 
     # -- component 3: ranking ----------------------------------------------------
@@ -250,7 +280,9 @@ class Etap:
         """
         if industry is not None:
             return industry.lead_list(events_by_driver)
-        return CompanyRanker().score_companies(events_by_driver)
+        return CompanyRanker(tracer=self.tracer).score_companies(
+            events_by_driver
+        )
 
     # -- helpers ------------------------------------------------------------------
 

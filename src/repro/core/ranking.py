@@ -22,6 +22,7 @@ from repro.core.lexicon import OrientationLexicon
 from repro.core.temporal import score_with_recency
 from repro.core.training import AnnotatedSnippet
 from repro.gather.dedup import NearDuplicateIndex
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 
 
 @dataclass(frozen=True)
@@ -184,7 +185,9 @@ class CompanyRanker:
     """
 
     def __init__(
-        self, driver_weights: dict[str, float] | None = None
+        self,
+        driver_weights: dict[str, float] | None = None,
+        tracer: AnyTracer | None = None,
     ) -> None:
         if driver_weights is not None:
             bad = [d for d, w in driver_weights.items() if w < 0]
@@ -193,6 +196,7 @@ class CompanyRanker:
                     f"driver weights must be non-negative; got {bad}"
                 )
         self.driver_weights = driver_weights or {}
+        self.tracer = tracer or NULL_TRACER
 
     def _weight(self, driver_id: str) -> float:
         return self.driver_weights.get(driver_id, 1.0)
@@ -203,24 +207,28 @@ class CompanyRanker:
         reciprocal_sum: dict[str, float] = defaultdict(float)
         weight_sum: dict[str, float] = defaultdict(float)
         event_count: dict[str, int] = defaultdict(int)
-        for driver_id, events in ranked_by_driver.items():
-            weight = self._weight(driver_id)
-            for event in events:
-                if event.rank is None:
-                    raise ValueError(
-                        "events must be ranked before company aggregation"
-                    )
-                for company in event.companies:
-                    reciprocal_sum[company] += weight / event.rank
-                    weight_sum[company] += weight
-                    event_count[company] += 1
-        scores = [
-            CompanyScore(
-                company=company,
-                mrr=reciprocal_sum[company] / weight_sum[company],
-                n_trigger_events=event_count[company],
-            )
-            for company in reciprocal_sum
-            if weight_sum[company] > 0
-        ]
+        with self.tracer.span("rank.companies") as span:
+            for driver_id, events in ranked_by_driver.items():
+                weight = self._weight(driver_id)
+                for event in events:
+                    if event.rank is None:
+                        raise ValueError(
+                            "events must be ranked before company "
+                            "aggregation"
+                        )
+                    for company in event.companies:
+                        reciprocal_sum[company] += weight / event.rank
+                        weight_sum[company] += weight
+                        event_count[company] += 1
+                span.add_items(len(events))
+            scores = [
+                CompanyScore(
+                    company=company,
+                    mrr=reciprocal_sum[company] / weight_sum[company],
+                    n_trigger_events=event_count[company],
+                )
+                for company in reciprocal_sum
+                if weight_sum[company] > 0
+            ]
+            self.tracer.count("rank.companies_scored", len(scores))
         return sorted(scores, key=lambda s: (-s.mrr, s.company))

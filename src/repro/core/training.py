@@ -21,6 +21,7 @@ from typing import Sequence
 from repro.core.drivers import SalesDriver
 from repro.core.snippets import Snippet, SnippetGenerator
 from repro.gather.store import DocumentStore
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
 from repro.text.annotator import AnnotatedText, Annotator
 
@@ -59,11 +60,13 @@ class TrainingDataGenerator:
         engine: SearchEngine,
         annotator: Annotator | None = None,
         snippet_generator: SnippetGenerator | None = None,
+        tracer: AnyTracer | None = None,
     ) -> None:
         self.store = store
         self.engine = engine
         self.annotator = annotator or Annotator()
         self.snippets = snippet_generator or SnippetGenerator()
+        self.tracer = tracer or NULL_TRACER
         self._annotation_cache: dict[str, AnnotatedText] = {}
 
     # -- shared plumbing ------------------------------------------------------
@@ -90,16 +93,24 @@ class TrainingDataGenerator:
         seen_docs: set[str] = set()
         kept: list[AnnotatedSnippet] = []
         seen_snippets = 0
-        for query in driver.smart_queries:
-            for hit in self.engine.search(query, top_k=top_k_per_query):
-                if hit.doc_key in seen_docs:
-                    continue
-                seen_docs.add(hit.doc_key)
-                for snippet in self.snippets_of_document(hit.doc_key):
-                    seen_snippets += 1
-                    annotated = self._annotate(snippet)
-                    if driver.snippet_filter(annotated.annotated):
-                        kept.append(annotated)
+        with self.tracer.span(
+            f"train.noisy_positive[{driver.driver_id}]"
+        ) as span:
+            for query in driver.smart_queries:
+                for hit in self.engine.search(
+                    query, top_k=top_k_per_query
+                ):
+                    if hit.doc_key in seen_docs:
+                        continue
+                    seen_docs.add(hit.doc_key)
+                    for snippet in self.snippets_of_document(hit.doc_key):
+                        seen_snippets += 1
+                        annotated = self._annotate(snippet)
+                        if driver.snippet_filter(annotated.annotated):
+                            kept.append(annotated)
+            span.add_items(seen_snippets)
+            self.tracer.count("train.snippets_seen", seen_snippets)
+            self.tracer.count("train.snippets_kept", len(kept))
         report = NoisyPositiveReport(
             driver_id=driver.driver_id,
             queries_run=len(driver.smart_queries),
@@ -127,15 +138,17 @@ class TrainingDataGenerator:
         if not doc_ids:
             raise ValueError("document store is empty")
         sample: list[AnnotatedSnippet] = []
-        attempts = 0
-        max_attempts = n_snippets * 20
-        while len(sample) < n_snippets and attempts < max_attempts:
-            attempts += 1
-            doc_id = rng.choice(doc_ids)
-            snippets = self.snippets_of_document(doc_id)
-            if not snippets:
-                continue
-            sample.append(self._annotate(rng.choice(snippets)))
+        with self.tracer.span("train.negative_sample") as span:
+            attempts = 0
+            max_attempts = n_snippets * 20
+            while len(sample) < n_snippets and attempts < max_attempts:
+                attempts += 1
+                doc_id = rng.choice(doc_ids)
+                snippets = self.snippets_of_document(doc_id)
+                if not snippets:
+                    continue
+                sample.append(self._annotate(rng.choice(snippets)))
+            span.add_items(len(sample))
         return sample
 
     # -- pure positives ---------------------------------------------------------

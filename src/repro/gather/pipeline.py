@@ -15,18 +15,33 @@ from dataclasses import dataclass
 from repro.corpus.web import SyntheticWeb
 from repro.gather.dedup import NearDuplicateIndex
 from repro.gather.store import DocumentStore, StoredDocument
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.crawler import FocusedCrawler, PageScorer, business_relevance
 from repro.search.engine import SearchEngine
+
+#: Default page budget for a gathering crawl.  Shared with
+#: :class:`~repro.core.etap.EtapConfig.max_crawl_pages` so the direct
+#: ``DataGatherer(web)`` path and the ``Etap.from_web`` path honor the
+#: same budget.
+DEFAULT_MAX_CRAWL_PAGES = 100_000
 
 
 @dataclass
 class GatherReport:
-    """Summary of one gathering run."""
+    """Summary of one gathering run.
+
+    The ``*_seconds`` fields are populated when the gatherer runs with
+    a real :class:`~repro.obs.Tracer`; under the default null tracer
+    they stay 0.0 (measuring would cost clock reads on the hot path).
+    """
 
     pages_fetched: int
     documents_stored: int
     duplicates_skipped: int
     near_duplicates_skipped: int = 0
+    crawl_seconds: float = 0.0
+    index_seconds: float = 0.0
+    total_seconds: float = 0.0
 
 
 class DataGatherer:
@@ -35,22 +50,34 @@ class DataGatherer:
     def __init__(
         self,
         web: SyntheticWeb,
-        max_pages: int = 5000,
+        max_pages: int | None = None,
         scorer: PageScorer = business_relevance,
         near_dedup: bool = False,
         near_dedup_threshold: float = 0.7,
+        tracer: AnyTracer | None = None,
     ) -> None:
         self.web = web
+        self.tracer = tracer or NULL_TRACER
         self.store = DocumentStore()
-        self.engine = SearchEngine()
+        self.engine = SearchEngine(tracer=self.tracer)
         self._crawler = FocusedCrawler(
-            web, scorer=scorer, max_pages=max_pages, max_depth=10
+            web,
+            scorer=scorer,
+            max_pages=(
+                DEFAULT_MAX_CRAWL_PAGES if max_pages is None else max_pages
+            ),
+            max_depth=10,
+            tracer=self.tracer,
         )
         self._near_index = (
             NearDuplicateIndex(threshold=near_dedup_threshold)
             if near_dedup
             else None
         )
+
+    @property
+    def max_pages(self) -> int:
+        return self._crawler.max_pages
 
     def gather(self) -> GatherReport:
         """Run the crawl and populate store and index.
@@ -59,42 +86,64 @@ class DataGatherer:
         stories republished with minor edits) are dropped in addition
         to the store's exact-content dedup.
         """
-        crawl = self._crawler.crawl()
-        stored = 0
-        skipped = 0
-        near_skipped = 0
-        for page in crawl.pages:
-            if page.document is None:
-                continue  # hub/index pages are navigation, not content
-            if (
-                self._near_index is not None
-                and page.document.doc_id not in self.store
-                and self._near_index.is_near_duplicate(page.text)
-            ):
-                near_skipped += 1
-                continue
-            document = StoredDocument(
-                doc_id=page.document.doc_id,
-                url=page.url,
-                title=page.title,
-                text=page.text,
-                metadata={
-                    "doc_type": page.document.doc_type,
-                    "published_day": page.document.published_day,
-                },
+        with self.tracer.span("gather") as gather_span:
+            crawl = self._crawler.crawl()
+            stored = 0
+            skipped = 0
+            near_skipped = 0
+            with self.tracer.span("gather.store_index") as index_span:
+                for page in crawl.pages:
+                    if page.document is None:
+                        continue  # hub/index pages are navigation, not content
+                    if (
+                        self._near_index is not None
+                        and page.document.doc_id not in self.store
+                        and self._near_index.is_near_duplicate(page.text)
+                    ):
+                        near_skipped += 1
+                        continue
+                    document = StoredDocument(
+                        doc_id=page.document.doc_id,
+                        url=page.url,
+                        title=page.title,
+                        text=page.text,
+                        metadata={
+                            "doc_type": page.document.doc_type,
+                            "published_day": page.document.published_day,
+                        },
+                    )
+                    if self.store.add(document):
+                        stored += 1
+                        self.engine.add_document(
+                            document.doc_id, document.text, document.title
+                        )
+                        if self._near_index is not None:
+                            self._near_index.add(
+                                document.doc_id, document.text
+                            )
+                    else:
+                        skipped += 1
+                index_span.add_items(stored)
+            gather_span.add_items(stored)
+            self.tracer.count("gather.documents_stored", stored)
+            self.tracer.count("gather.duplicates_skipped", skipped)
+            self.tracer.count(
+                "gather.near_duplicates_skipped", near_skipped
             )
-            if self.store.add(document):
-                stored += 1
-                self.engine.add_document(
-                    document.doc_id, document.text, document.title
-                )
-                if self._near_index is not None:
-                    self._near_index.add(document.doc_id, document.text)
-            else:
-                skipped += 1
+        crawl_seconds = next(
+            (
+                child.duration
+                for child in gather_span.children
+                if child.name == "gather.crawl"
+            ),
+            0.0,
+        )
         return GatherReport(
             pages_fetched=len(crawl.pages),
             documents_stored=stored,
             duplicates_skipped=skipped,
             near_duplicates_skipped=near_skipped,
+            crawl_seconds=crawl_seconds,
+            index_seconds=index_span.duration,
+            total_seconds=gather_span.duration,
         )

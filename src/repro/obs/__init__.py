@@ -1,0 +1,41 @@
+"""Pipeline observability: tracing spans, counters, stage reports.
+
+The measurement substrate for the gather -> train -> extract pipeline.
+Instrumented entry points (crawler, gatherer, search engine, training
+generator, classifiers, :class:`~repro.core.etap.Etap`, CLI) accept an
+optional :class:`Tracer`; the default :data:`NULL_TRACER` makes the
+instrumentation free when profiling is off.
+
+    from repro.obs import Tracer, StageReport
+
+    tracer = Tracer()
+    etap = Etap.from_web(web, tracer=tracer)
+    etap.gather(); etap.train(); etap.extract_trigger_events()
+    print(StageReport.from_tracer(tracer).render())
+"""
+
+from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.metrics import Counter, Histogram, Registry
+from repro.obs.report import StageReport
+from repro.obs.tracer import (
+    NULL_TRACER,
+    AnyTracer,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "AnyTracer",
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "Counter",
+    "Histogram",
+    "Registry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "StageReport",
+]

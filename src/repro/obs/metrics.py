@@ -1,0 +1,134 @@
+"""Counters and histograms: the pipeline's numeric vital signs.
+
+A :class:`Registry` owns named :class:`Counter` and :class:`Histogram`
+instances.  Instrumented code increments/observes by name through the
+tracer; reporting code snapshots the registry.  Everything is plain
+in-process Python — this is a measurement substrate for a single
+pipeline run, not a metrics *server*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing named count."""
+
+    name: str
+    value: int = 0
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a histogram "
+                             "for signed observations")
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """Stores raw observations; summary stats are computed on demand.
+
+    Raw storage keeps the implementation exact (no bucket-boundary
+    error) at the scale this pipeline runs at — observations per run
+    number in the thousands, not billions.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile (nearest-rank) of the observations so far."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(int(math.ceil(q / 100 * len(ordered))) - 1, 0)
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Registry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access ---------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- recording ------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).add(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of everything recorded so far."""
+        return {
+            "counters": self.counters,
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in self.histograms.items()
+            },
+        }

@@ -1,0 +1,96 @@
+"""Stage reports: render a tracer's span tree for humans and machines.
+
+The human rendering is a per-stage tree of wall-time, item counts, and
+throughput::
+
+    stage                              wall s      items    items/s
+    gather                              0.412       1500     3640.8
+      gather.crawl                      0.301       1500     4983.4
+      gather.index                      0.098       1342    13693.9
+
+``to_dict``/``to_json`` emit the same data (plus the registry's
+counters and histograms) for ``repro trace`` and downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.tracer import Span, Tracer
+
+_HEADER = ("stage", "wall s", "items", "items/s")
+
+
+def _format_row(
+    name: str, span: Span, name_width: int
+) -> str:
+    items = str(span.items) if span.items else "-"
+    throughput = (
+        f"{span.throughput:.1f}" if span.throughput > 0 else "-"
+    )
+    return (
+        f"{name:<{name_width}}  {span.duration:>9.3f}  "
+        f"{items:>9}  {throughput:>10}"
+    )
+
+
+def _walk(spans: list[Span], depth: int = 0):
+    for span in spans:
+        yield depth, span
+        yield from _walk(span.children, depth + 1)
+
+
+@dataclass
+class StageReport:
+    """A finished run's span forest plus its metric registry snapshot."""
+
+    spans: list[Span]
+    counters: dict[str, int]
+    histograms: dict[str, dict[str, float]]
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "StageReport":
+        snapshot = tracer.registry.snapshot()
+        return cls(
+            spans=list(tracer.roots),
+            counters=snapshot["counters"],
+            histograms=snapshot["histograms"],
+        )
+
+    # -- machine-readable -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "counters": self.counters,
+            "histograms": self.histograms,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- human-readable -------------------------------------------------------
+
+    def render(self, include_counters: bool = True) -> str:
+        rows = list(_walk(self.spans))
+        if not rows:
+            return "(no spans recorded)"
+        name_width = max(
+            len(_HEADER[0]),
+            *(len("  " * depth + span.name) for depth, span in rows),
+        )
+        lines = [
+            f"{_HEADER[0]:<{name_width}}  {_HEADER[1]:>9}  "
+            f"{_HEADER[2]:>9}  {_HEADER[3]:>10}"
+        ]
+        for depth, span in rows:
+            lines.append(
+                _format_row("  " * depth + span.name, span, name_width)
+            )
+        if include_counters and self.counters:
+            lines.append("")
+            counter_width = max(len(name) for name in self.counters)
+            for name, value in self.counters.items():
+                lines.append(f"{name:<{counter_width}}  {value}")
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.corpus.web import FRONT_PAGE_URL, Page, SyntheticWeb
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 
 #: Scores a fetched page; higher means expand its links sooner.
 PageScorer = Callable[[Page], float]
@@ -58,6 +59,7 @@ class FocusedCrawler:
         scorer: PageScorer = business_relevance,
         max_pages: int = 500,
         max_depth: int = 6,
+        tracer: AnyTracer | None = None,
     ) -> None:
         if max_pages <= 0:
             raise ValueError("max_pages must be positive")
@@ -65,6 +67,7 @@ class FocusedCrawler:
         self.scorer = scorer
         self.max_pages = max_pages
         self.max_depth = max_depth
+        self.tracer = tracer or NULL_TRACER
 
     def crawl(
         self, seeds: Iterable[str] = (FRONT_PAGE_URL,)
@@ -79,26 +82,30 @@ class FocusedCrawler:
                 seen.add(seed)
                 heapq.heappush(frontier, (0.0, next(counter), 0, seed))
 
-        while frontier and len(result.pages) < self.max_pages:
-            _, _, depth, url = heapq.heappop(frontier)
-            if not self.web.has(url):
-                result.skipped += 1
-                continue
-            page = self.web.fetch(url)
-            result.pages.append(page)
-            result.fetch_order.append(url)
-            if depth >= self.max_depth:
-                continue
-            for link in page.links:
-                if link in seen:
+        with self.tracer.span("gather.crawl") as span:
+            while frontier and len(result.pages) < self.max_pages:
+                _, _, depth, url = heapq.heappop(frontier)
+                if not self.web.has(url):
+                    result.skipped += 1
                     continue
-                seen.add(link)
-                # Peek at the target to prioritize; a real crawler would
-                # rank by anchor text, we rank by the page itself.
-                priority = 0.0
-                if self.web.has(link):
-                    priority = -self.scorer(self.web.fetch(link))
-                heapq.heappush(
-                    frontier, (priority, next(counter), depth + 1, link)
-                )
+                page = self.web.fetch(url)
+                result.pages.append(page)
+                result.fetch_order.append(url)
+                if depth >= self.max_depth:
+                    continue
+                for link in page.links:
+                    if link in seen:
+                        continue
+                    seen.add(link)
+                    # Peek at the target to prioritize; a real crawler would
+                    # rank by anchor text, we rank by the page itself.
+                    priority = 0.0
+                    if self.web.has(link):
+                        priority = -self.scorer(self.web.fetch(link))
+                    heapq.heappush(
+                        frontier, (priority, next(counter), depth + 1, link)
+                    )
+            span.add_items(len(result.pages))
+            self.tracer.count("crawl.pages_fetched", len(result.pages))
+            self.tracer.count("crawl.dead_links_skipped", result.skipped)
         return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.index import InvertedIndex, normalize_term
 from repro.search.scoring import Bm25, RankingFunction
 from repro.text.tokenizer import tokenize_words
@@ -73,16 +74,26 @@ class SearchEngine:
         index: InvertedIndex | None = None,
         ranking: RankingFunction | None = None,
         phrase_boost: float = 2.0,
+        tracer: AnyTracer | None = None,
     ) -> None:
         self.index = index or InvertedIndex()
         self.ranking = ranking or Bm25()
         self.phrase_boost = phrase_boost
+        self.tracer = tracer or NULL_TRACER
 
     def add_document(self, doc_key: str, text: str, title: str = "") -> None:
         self.index.add_document(doc_key, text, title)
+        self.tracer.count("engine.documents_indexed")
 
     def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
         """Run ``query`` and return the ``top_k`` ranked results."""
+        with self.tracer.timed("engine.search_seconds"):
+            results = self._search(query, top_k)
+        self.tracer.count("engine.searches")
+        self.tracer.observe("engine.results_per_search", len(results))
+        return results
+
+    def _search(self, query: str, top_k: int) -> list[SearchResult]:
         parsed = parse_query(query)
         if not parsed.all_terms:
             return []

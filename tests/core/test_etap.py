@@ -112,3 +112,62 @@ class TestConfig:
         assert config.top_k_per_query == 200  # top 200 documents
         assert config.max_denoise_iter == 2  # "after two iterations"
         assert config.oversample_pure == 3  # "oversampling ... factor of 3"
+
+
+class TestSinceDayFreshnessWindow:
+    """Regression: documents without ``published_day`` metadata must not
+    be dropped by ``extract_trigger_events(since_day=...)``."""
+
+    @pytest.fixture(scope="class")
+    def dated_etap(self):
+        from repro.corpus.generator import CorpusConfig
+        from repro.corpus.web import build_web
+
+        web = build_web(150, CorpusConfig(seed=5))
+        etap = Etap.from_web(
+            web,
+            config=EtapConfig(
+                top_k_per_query=40, negative_sample_size=400
+            ),
+        )
+        etap.gather()
+        etap.train()
+        # Strip the publication date from every other stored document,
+        # simulating sources that carry no date metadata.
+        stripped = set(etap.store.doc_ids()[::2])
+        for doc_id in stripped:
+            etap.store.get(doc_id).metadata.pop("published_day", None)
+        return etap, stripped
+
+    def test_undated_documents_survive_any_horizon(self, dated_etap):
+        etap, stripped = dated_etap
+        # A horizon later than every simulated publication day: only
+        # undated documents can pass the filter.
+        events = etap.extract_trigger_events(since_day=10**9)
+        flagged_docs = {
+            event.item.snippet.doc_id
+            for driver_events in events.values()
+            for event in driver_events
+        }
+        assert flagged_docs, "undated documents were dropped"
+        assert flagged_docs <= stripped
+
+    def test_horizon_zero_keeps_everything(self, dated_etap):
+        etap, _ = dated_etap
+        unrestricted = etap.extract_trigger_events()
+        horizon_zero = etap.extract_trigger_events(since_day=0)
+        assert {
+            driver: [e.snippet_id for e in evs]
+            for driver, evs in unrestricted.items()
+        } == {
+            driver: [e.snippet_id for e in evs]
+            for driver, evs in horizon_zero.items()
+        }
+
+    def test_future_horizon_restricts_dated_documents(self, dated_etap):
+        etap, stripped = dated_etap
+        unrestricted = etap.extract_trigger_events()
+        restricted = etap.extract_trigger_events(since_day=10**9)
+        n_unrestricted = sum(len(e) for e in unrestricted.values())
+        n_restricted = sum(len(e) for e in restricted.values())
+        assert n_restricted < n_unrestricted

@@ -1,0 +1,106 @@
+"""Property-style tests for NearDuplicateIndex.
+
+Deterministic randomized checks (seeded rng, many cases) of the
+invariants the gather pipeline relies on:
+
+* reflexivity — a document is always a near-duplicate of itself;
+* exactness at threshold 1.0 — only exact shingle matches are flagged;
+* monotonicity — raising the threshold never flags *more* pages.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gather.dedup import NearDuplicateIndex, shingles
+
+_VOCAB = (
+    "acquisition merger revenue quarter profit growth company ceo "
+    "market board shares earnings product launch deal report analyst "
+    "chairman appointed income results forecast guidance expansion"
+).split()
+
+
+def _random_text(rng: random.Random, n_words: int = 40) -> str:
+    return " ".join(rng.choice(_VOCAB) for _ in range(n_words))
+
+
+def _edited(rng: random.Random, text: str, n_edits: int) -> str:
+    """Replace ``n_edits`` random words — a near-duplicate generator."""
+    words = text.split()
+    for _ in range(n_edits):
+        words[rng.randrange(len(words))] = rng.choice(_VOCAB)
+    return " ".join(words)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_document_is_near_duplicate_of_itself(seed):
+    rng = random.Random(seed)
+    index = NearDuplicateIndex(threshold=1.0)
+    for case in range(10):
+        text = _random_text(rng, n_words=rng.randrange(5, 60))
+        index.add(f"doc-{case}", text)
+        assert index.is_near_duplicate(text), text
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_threshold_one_flags_only_exact_shingle_matches(seed):
+    rng = random.Random(100 + seed)
+    index = NearDuplicateIndex(threshold=1.0)
+    originals = []
+    for case in range(10):
+        text = _random_text(rng)
+        originals.append(text)
+        index.add(f"doc-{case}", text)
+    for text in originals:
+        # Identical shingle set -> flagged.
+        assert index.is_near_duplicate(text)
+        # Any probe whose shingle set differs must not be flagged at
+        # threshold 1.0 (distinct sets cannot have estimated
+        # similarity 1.0 under a shared MinHash family, except by a
+        # full 96-permutation collision, which the fixed seed rules
+        # out for these inputs).
+        probe = _edited(rng, text, n_edits=3)
+        if any(
+            shingles(probe) == shingles(original)
+            for original in originals
+        ):
+            continue
+        assert not index.is_near_duplicate(probe), probe
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_raising_threshold_never_flags_more(seed):
+    rng = random.Random(200 + seed)
+    corpus: list[str] = []
+    for _ in range(8):
+        text = _random_text(rng)
+        corpus.append(text)
+        # Mix in near-duplicates at varying edit distances so there is
+        # something to flag at intermediate thresholds.
+        corpus.append(_edited(rng, text, n_edits=rng.randrange(1, 6)))
+        corpus.append(_edited(rng, text, n_edits=rng.randrange(10, 25)))
+
+    def flagged_at(threshold: float) -> set[int]:
+        index = NearDuplicateIndex(threshold=threshold)
+        flagged = set()
+        for position, text in enumerate(corpus):
+            if index.is_near_duplicate(text):
+                flagged.add(position)
+            index.add(f"doc-{position}", text)
+        return flagged
+
+    thresholds = (0.2, 0.4, 0.6, 0.8, 1.0)
+    results = [flagged_at(threshold) for threshold in thresholds]
+    for looser, stricter in zip(results, results[1:]):
+        assert stricter <= looser
+
+
+def test_exact_duplicate_flagged_at_every_threshold():
+    text = _random_text(random.Random(7))
+    for threshold in (0.1, 0.5, 0.9, 1.0):
+        index = NearDuplicateIndex(threshold=threshold)
+        index.add("original", text)
+        assert index.is_near_duplicate(text)

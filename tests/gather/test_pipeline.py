@@ -45,3 +45,22 @@ class TestGather:
         report = gatherer.gather()
         assert report.pages_fetched == 30
         assert len(gatherer.store) <= 30
+
+
+class TestCrawlBudgetDefaults:
+    """The direct-constructor path and EtapConfig must agree on the
+    default crawl budget (they used to be 5 000 vs 100 000)."""
+
+    def test_default_matches_etap_config(self, small_web):
+        from repro.core.etap import EtapConfig
+        from repro.gather.pipeline import DEFAULT_MAX_CRAWL_PAGES
+
+        gatherer = DataGatherer(small_web)
+        assert gatherer.max_pages == DEFAULT_MAX_CRAWL_PAGES
+        assert gatherer.max_pages == EtapConfig().max_crawl_pages
+
+    def test_explicit_budget_still_honored(self, small_web):
+        gatherer = DataGatherer(small_web, max_pages=25)
+        report = gatherer.gather()
+        assert gatherer.max_pages == 25
+        assert report.pages_fetched <= 25

@@ -1,0 +1,145 @@
+"""The pipeline's tracer wiring: spans and counters actually emitted.
+
+Runs a tiny end-to-end pipeline under a real Tracer and checks the
+span tree and counter names the CLI's ``--profile`` report relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.gather.pipeline import DataGatherer
+from repro.obs import StageReport, Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_pipeline():
+    tracer = Tracer()
+    web = build_web(150, CorpusConfig(seed=5))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=40, negative_sample_size=400),
+        tracer=tracer,
+    )
+    gather_report = etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    etap.company_report(events)
+    return tracer, gather_report
+
+
+class TestSpanTree:
+    def test_top_level_stages(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        names = [span.name for span in tracer.roots]
+        assert names == ["gather", "train", "extract", "rank.companies"]
+
+    def test_gather_children(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        gather = tracer.roots[0]
+        child_names = [child.name for child in gather.children]
+        assert child_names == ["gather.crawl", "gather.store_index"]
+
+    def test_train_children_cover_every_driver(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        train = tracer.roots[1]
+        names = [child.name for child in train.children]
+        assert names[0] == "train.negative_sample"
+        fits = [n for n in names if n.startswith("train.fit[")]
+        noisy = [n for n in names if n.startswith("train.noisy_positive[")]
+        assert len(fits) == 3
+        assert len(noisy) == 3
+
+    def test_extract_children(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        extract = tracer.roots[2]
+        names = [child.name for child in extract.children]
+        assert names[0] == "extract.annotate"
+        assert sum(n.startswith("extract.score[") for n in names) == 3
+
+    def test_all_spans_closed_with_positive_duration(
+        self, traced_pipeline
+    ):
+        tracer, _ = traced_pipeline
+
+        def walk(spans):
+            for span in spans:
+                yield span
+                yield from walk(span.children)
+
+        for span in walk(tracer.roots):
+            assert span.ended is not None, span.name
+            assert span.duration >= 0.0
+
+
+class TestCountersAndReports:
+    def test_expected_counters_present(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        counters = tracer.registry.counters
+        for name in (
+            "crawl.pages_fetched",
+            "gather.documents_stored",
+            "engine.documents_indexed",
+            "engine.searches",
+            "train.snippets_seen",
+            "classifier.snippets_scored",
+            "extract.trigger_events",
+            "rank.companies_scored",
+        ):
+            assert name in counters, name
+        assert counters["engine.documents_indexed"] == counters[
+            "gather.documents_stored"
+        ]
+
+    def test_gather_report_timing_fields(self, traced_pipeline):
+        _, gather_report = traced_pipeline
+        assert gather_report.total_seconds > 0.0
+        assert gather_report.crawl_seconds > 0.0
+        assert gather_report.index_seconds > 0.0
+        assert gather_report.total_seconds >= (
+            gather_report.crawl_seconds
+        )
+
+    def test_search_histograms_recorded(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        histograms = tracer.registry.histograms
+        assert "engine.search_seconds" in histograms
+        assert "engine.results_per_search" in histograms
+        assert (
+            histograms["engine.search_seconds"].count
+            == tracer.registry.counter("engine.searches").value
+        )
+
+    def test_stage_report_renders_and_serializes(self, traced_pipeline):
+        tracer, _ = traced_pipeline
+        report = StageReport.from_tracer(tracer)
+        text = report.render()
+        assert "gather.crawl" in text
+        assert "extract" in text
+        payload = report.to_dict()
+        assert payload["counters"]["crawl.pages_fetched"] > 0
+
+
+class TestNullPath:
+    def test_uninstrumented_summaries_report_zero_seconds(self):
+        web = build_web(150, CorpusConfig(seed=5))
+        etap = Etap.from_web(
+            web,
+            config=EtapConfig(
+                top_k_per_query=40, negative_sample_size=400
+            ),
+        )
+        report = etap.gather()
+        assert report.total_seconds == 0.0
+        assert report.crawl_seconds == 0.0
+        summaries = etap.train()
+        assert all(s.fit_seconds == 0.0 for s in summaries.values())
+
+    def test_default_gatherer_records_nothing(self):
+        web = build_web(60, CorpusConfig(seed=2))
+        gatherer = DataGatherer(web)
+        gatherer.gather()
+        assert gatherer.tracer.roots == []

@@ -1,0 +1,87 @@
+"""StageReport rendering and serialization, driven by a FakeClock."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import FakeClock, StageReport, Tracer
+
+
+@pytest.fixture
+def traced_run():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("gather") as gather:
+        with tracer.span("gather.crawl") as crawl:
+            clock.advance(2.0)
+            crawl.add_items(100)
+        with tracer.span("gather.index") as index:
+            clock.advance(1.0)
+            index.add_items(80)
+        gather.add_items(80)
+    tracer.count("pages_fetched", 100)
+    tracer.observe("fetch_seconds", 0.5)
+    return tracer
+
+
+class TestRender:
+    def test_tree_structure_and_exact_numbers(self, traced_run):
+        text = StageReport.from_tracer(traced_run).render()
+        lines = text.splitlines()
+        assert lines[0].split() == ["stage", "wall", "s", "items",
+                                    "items/s"]
+        assert lines[1].startswith("gather")
+        assert "3.000" in lines[1]
+        # Children indented under the parent.
+        assert lines[2].startswith("  gather.crawl")
+        assert "2.000" in lines[2]
+        assert "100" in lines[2]
+        assert "50.0" in lines[2]  # 100 items / 2 s
+        assert lines[3].startswith("  gather.index")
+        assert "80.0" in lines[3]  # 80 items / 1 s
+
+    def test_counters_appended(self, traced_run):
+        text = StageReport.from_tracer(traced_run).render()
+        assert "pages_fetched" in text
+        assert "100" in text
+
+    def test_counters_can_be_suppressed(self, traced_run):
+        text = StageReport.from_tracer(traced_run).render(
+            include_counters=False
+        )
+        assert "pages_fetched" not in text
+
+    def test_empty_tracer_renders_placeholder(self):
+        report = StageReport.from_tracer(Tracer(clock=FakeClock()))
+        assert report.render() == "(no spans recorded)"
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, traced_run):
+        report = StageReport.from_tracer(traced_run)
+        parsed = json.loads(report.to_json())
+        assert parsed == report.to_dict()
+
+    def test_exact_span_payload(self, traced_run):
+        payload = StageReport.from_tracer(traced_run).to_dict()
+        (gather,) = payload["spans"]
+        assert gather["name"] == "gather"
+        assert gather["seconds"] == 3.0
+        assert gather["items"] == 80
+        crawl, index = gather["children"]
+        assert crawl == {
+            "name": "gather.crawl",
+            "seconds": 2.0,
+            "items": 100,
+            "throughput": 50.0,
+            "children": [],
+        }
+        assert index["seconds"] == 1.0
+
+    def test_metrics_in_payload(self, traced_run):
+        payload = StageReport.from_tracer(traced_run).to_dict()
+        assert payload["counters"] == {"pages_fetched": 100}
+        assert payload["histograms"]["fetch_seconds"]["count"] == 1
+        assert payload["histograms"]["fetch_seconds"]["mean"] == 0.5

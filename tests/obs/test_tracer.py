@@ -1,0 +1,193 @@
+"""Tracer unit tests: span nesting, timing, and the null tracer.
+
+Every timing here is *exact* — the tracer runs on a FakeClock that only
+moves when the test says so.  No sleeps, no tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    FakeClock,
+    MonotonicClock,
+    NullTracer,
+    Tracer,
+)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestSpans:
+    def test_single_span_duration_exact(self, tracer, clock):
+        with tracer.span("stage"):
+            clock.advance(2.5)
+        (span,) = tracer.roots
+        assert span.name == "stage"
+        assert span.duration == 2.5
+
+    def test_open_span_reports_zero_duration(self, tracer, clock):
+        with tracer.span("stage") as span:
+            clock.advance(1.0)
+            assert span.duration == 0.0
+        assert span.duration == 1.0
+
+    def test_nesting_builds_a_tree(self, tracer, clock):
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner.a"):
+                clock.advance(2.0)
+            with tracer.span("inner.b"):
+                clock.advance(3.0)
+        (outer,) = tracer.roots
+        assert [child.name for child in outer.children] == [
+            "inner.a",
+            "inner.b",
+        ]
+        assert outer.duration == 6.0
+        assert outer.children[0].duration == 2.0
+        assert outer.children[1].duration == 3.0
+
+    def test_deep_nesting(self, tracer, clock):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    clock.advance(1.0)
+        (a,) = tracer.roots
+        (b,) = a.children
+        (c,) = b.children
+        assert (a.duration, b.duration, c.duration) == (1.0, 1.0, 1.0)
+
+    def test_sequential_roots(self, tracer, clock):
+        with tracer.span("first"):
+            clock.advance(1.0)
+        with tracer.span("second"):
+            clock.advance(2.0)
+        assert [span.name for span in tracer.roots] == [
+            "first",
+            "second",
+        ]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_span_closed_on_exception(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                clock.advance(4.0)
+                raise RuntimeError("boom")
+        (span,) = tracer.roots
+        assert span.duration == 4.0
+        assert tracer.current is None
+
+    def test_items_and_throughput(self, tracer, clock):
+        with tracer.span("stage") as span:
+            clock.advance(2.0)
+            span.add_items(10)
+        assert span.items == 10
+        assert span.throughput == 5.0
+
+    def test_add_items_goes_to_innermost(self, tracer, clock):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add_items(3)
+        (outer,) = tracer.roots
+        assert outer.items == 0
+        assert outer.children[0].items == 3
+
+    def test_zero_duration_throughput_is_zero(self, tracer):
+        with tracer.span("instant") as span:
+            span.add_items(5)
+        assert span.throughput == 0.0
+
+    def test_span_to_dict(self, tracer, clock):
+        with tracer.span("outer") as span:
+            clock.advance(2.0)
+            span.add_items(4)
+            with tracer.span("inner"):
+                clock.advance(1.0)
+        record = span.to_dict()
+        assert record["name"] == "outer"
+        assert record["seconds"] == 3.0
+        assert record["items"] == 4
+        assert record["children"][0]["name"] == "inner"
+        assert record["children"][0]["seconds"] == 1.0
+
+
+class TestMetricsViaTracer:
+    def test_count_and_observe_reach_registry(self, tracer):
+        tracer.count("pages", 3)
+        tracer.count("pages")
+        tracer.observe("latency", 0.5)
+        assert tracer.registry.counter("pages").value == 4
+        assert tracer.registry.histogram("latency").values == [0.5]
+
+    def test_timed_records_exact_duration(self, tracer, clock):
+        with tracer.timed("op_seconds"):
+            clock.advance(0.25)
+        with tracer.timed("op_seconds"):
+            clock.advance(0.75)
+        histogram = tracer.registry.histogram("op_seconds")
+        assert histogram.values == [0.25, 0.75]
+        assert histogram.total == 1.0
+
+    def test_timed_creates_no_span(self, tracer, clock):
+        with tracer.timed("op_seconds"):
+            clock.advance(1.0)
+        assert tracer.roots == []
+
+
+class TestFakeClock:
+    def test_starts_at_zero_by_default(self):
+        assert FakeClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = FakeClock(start=10.0)
+        clock.advance(1.5)
+        clock.tick(0.5)
+        assert clock.now() == 12.0
+
+    def test_rejects_backwards_motion(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+
+class TestNullTracer:
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+
+    def test_span_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("stage") as span:
+            span.add_items(5)
+            tracer.count("n", 3)
+            tracer.observe("h", 1.0)
+            with tracer.timed("t"):
+                pass
+        assert tracer.roots == []
+        assert tracer.current is None
+        assert span.duration == 0.0
+
+    def test_span_context_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

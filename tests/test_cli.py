@@ -128,12 +128,113 @@ class TestReproduce:
     def test_reproduce_writes_report(self, tmp_path, capsys):
         out_path = tmp_path / "report.md"
         code = main([
-            "reproduce", "--out", str(out_path), "--profile", "small",
+            "reproduce", "--out", str(out_path), "--scale", "small",
         ])
         assert code == 0
         text = out_path.read_text(encoding="utf-8")
         assert "Table 1" in text
         assert "Figure 8" in text
+
+
+class TestTrace:
+    def test_trace_emits_valid_json(self, capsys):
+        import json
+
+        code = main(["trace", "--docs", "300"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        span_names = [span["name"] for span in payload["spans"]]
+        assert "gather" in span_names
+        assert "train" in span_names
+        assert "extract" in span_names
+        for span in payload["spans"]:
+            assert span["seconds"] > 0
+        assert payload["counters"]["crawl.pages_fetched"] > 0
+        assert "engine.search_seconds" in payload["histograms"]
+
+
+class TestProfileFlag:
+    """``--profile`` prints a per-stage tree to stderr, everywhere."""
+
+    @staticmethod
+    def _stderr_tree(capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("stage"), err
+        assert "wall s" in err
+        assert "items/s" in err
+        return err
+
+    def test_demo_profile_prints_stage_tree(self, capsys):
+        code = main(["demo", "--docs", "300", "--profile"])
+        assert code == 0
+        tree = self._stderr_tree(capsys)
+        for stage in (
+            "gather.crawl",
+            "train.negative_sample",
+            "extract.annotate",
+            "rank.companies",
+        ):
+            assert stage in tree
+
+    def test_gather_profile(self, tmp_path, capsys):
+        code = main([
+            "gather", "--workspace", str(tmp_path / "ws"),
+            "--docs", "100", "--profile",
+        ])
+        assert code == 0
+        tree = self._stderr_tree(capsys)
+        assert "gather.crawl" in tree
+        assert "crawl.pages_fetched" in tree
+
+    def test_train_extract_report_profile(self, workspace, capsys):
+        code = main([
+            "train", "--workspace", str(workspace),
+            "--top-k", "60", "--negatives", "1000", "--profile",
+        ])
+        assert code == 0
+        assert "train.fit[" in self._stderr_tree(capsys)
+
+        code = main([
+            "extract", "--workspace", str(workspace), "--top", "2",
+            "--profile",
+        ])
+        assert code == 0
+        assert "extract.score[" in self._stderr_tree(capsys)
+
+        code = main([
+            "report", "--workspace", str(workspace), "--top", "3",
+            "--profile",
+        ])
+        assert code == 0
+        assert "rank.companies" in self._stderr_tree(capsys)
+
+    def test_stats_profile(self, capsys):
+        code = main(["stats", "--docs", "200", "--profile"])
+        assert code == 0
+        assert "stats" in self._stderr_tree(capsys)
+
+    def test_trace_profile_tree_and_json(self, capsys):
+        import json
+
+        code = main(["trace", "--docs", "300", "--profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.err.startswith("stage")
+        assert json.loads(captured.out)["spans"]
+
+    def test_reproduce_accepts_profile_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "reproduce", "--out", "r.md", "--profile",
+        ])
+        assert args.profile is True
+        assert args.scale == "small"
+
+    def test_without_profile_stderr_is_clean(self, capsys):
+        code = main(["stats", "--docs", "100"])
+        assert code == 0
+        assert capsys.readouterr().err == ""
 
 
 class TestIndexCache:
