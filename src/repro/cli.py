@@ -15,6 +15,16 @@ process::
 Every subcommand takes ``--profile``, which traces the run and prints a
 per-stage tree (wall-time, items, throughput) to stderr; ``repro
 trace`` replays the demo pipeline and emits the same data as JSON.
+
+Pipeline subcommands also take ``--record FILE``, which turns on the
+flight recorder and writes every pipeline event as JSONL.  The recorded
+log feeds three observability subcommands::
+
+    repro demo --record events.jsonl --cycles 2
+    repro explain <alert-id> --events events.jsonl
+    repro events --file events.jsonl --type alert_emitted --tail 5
+    repro events --validate events.jsonl
+    repro metrics --docs 500
 """
 
 from __future__ import annotations
@@ -30,7 +40,21 @@ from repro.corpus.generator import CorpusConfig
 from repro.corpus.web import build_web
 from repro.evaluation.reporting import ascii_table, format_float
 from repro.gather.store import DocumentStore
-from repro.obs import NULL_TRACER, AnyTracer, StageReport, Tracer
+from repro.obs import (
+    NULL_EVENT_LOG,
+    NULL_TRACER,
+    AnyEventLog,
+    AnyTracer,
+    EventLog,
+    ProvenanceGraph,
+    StageReport,
+    Tracer,
+    derive_gauges,
+    parse_prometheus_text,
+    prometheus_text,
+    read_events,
+    validate_jsonl,
+)
 from repro.search.engine import SearchEngine
 
 STORE_FILE = "store.jsonl"
@@ -48,10 +72,15 @@ def _tracer(args: argparse.Namespace) -> AnyTracer:
     return getattr(args, "tracer", None) or NULL_TRACER
 
 
+def _event_log(args: argparse.Namespace) -> AnyEventLog:
+    return getattr(args, "event_log", None) or NULL_EVENT_LOG
+
+
 def _load_etap(
     workspace: Path,
     config: EtapConfig,
     tracer: AnyTracer = NULL_TRACER,
+    event_log: AnyEventLog = NULL_EVENT_LOG,
 ) -> Etap:
     """Rebuild an Etap from a workspace: store + (cached) index."""
     store_path = workspace / STORE_FILE
@@ -74,7 +103,13 @@ def _load_etap(
             engine.add_document(
                 document.doc_id, document.text, document.title
             )
-    return Etap(store=store, engine=engine, config=config, tracer=tracer)
+    return Etap(
+        store=store,
+        engine=engine,
+        config=config,
+        tracer=tracer,
+        event_log=event_log,
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> EtapConfig:
@@ -89,7 +124,9 @@ def _config_from_args(args: argparse.Namespace) -> EtapConfig:
 def cmd_gather(args: argparse.Namespace) -> int:
     workspace = _workspace(args.workspace)
     web = build_web(args.docs, CorpusConfig(seed=args.seed))
-    etap = Etap.from_web(web, tracer=_tracer(args))
+    etap = Etap.from_web(
+        web, tracer=_tracer(args), event_log=_event_log(args)
+    )
     report = etap.gather()
     etap.store.save_jsonl(workspace / STORE_FILE)
     etap.engine.index.save_json(workspace / INDEX_FILE)
@@ -101,7 +138,10 @@ def cmd_gather(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     workspace = _workspace(args.workspace)
-    etap = _load_etap(workspace, _config_from_args(args), _tracer(args))
+    etap = _load_etap(
+        workspace, _config_from_args(args), _tracer(args),
+        _event_log(args),
+    )
     summaries = etap.train()
     paths = save_classifiers(etap.classifiers, workspace / MODELS_DIR)
     rows = [
@@ -123,7 +163,10 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def _load_trained_etap(args: argparse.Namespace) -> Etap:
     workspace = _workspace(args.workspace)
-    etap = _load_etap(workspace, _config_from_args(args), _tracer(args))
+    etap = _load_etap(
+        workspace, _config_from_args(args), _tracer(args),
+        _event_log(args),
+    )
     classifiers = load_classifiers(workspace / MODELS_DIR)
     if not classifiers:
         raise SystemExit(
@@ -188,6 +231,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         web,
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
         tracer=_tracer(args),
+        event_log=_event_log(args),
     )
     etap.gather()
     etap.train()
@@ -205,6 +249,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print(f"  {position}. "
               f"{etap.normalizer.display_name(lead.company):24s}"
               f" MRR={lead.mrr:.3f} ({lead.n_trigger_events} events)")
+    if args.cycles > 0:
+        _demo_alert_cycles(args, etap, web)
+    return 0
+
+
+def _demo_alert_cycles(
+    args: argparse.Namespace, etap: Etap, web
+) -> int:
+    """Evolve the web and poll the alert service ``--cycles`` times."""
+    from repro.core.alerts import AlertService
+    from repro.corpus.evolve import WebEvolver
+
+    service = AlertService(etap, threshold=args.alert_threshold)
+    evolver = WebEvolver(web, CorpusConfig(seed=args.seed + 1))
+    print("\nalert cycles:")
+    for cycle in range(1, args.cycles + 1):
+        evolver.advance(args.new_docs)
+        report = service.poll()
+        print(f"  cycle {cycle}: {report.new_documents} new docs -> "
+              f"{len(report.alerts)} alerts")
+        for alert in report.alerts[:5]:
+            companies = ", ".join(alert.event.companies) or "-"
+            print(f"    {alert.alert_id}  [{alert.score:.2f}] "
+                  f"{alert.driver_id}  ({companies})")
     return 0
 
 
@@ -227,6 +295,79 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     )
     path = write_report(args.out, spec=spec)
     print(f"wrote reproduction report -> {path}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Render one alert's provenance chain from a recorded event log."""
+    path = Path(args.events)
+    if not path.exists():
+        raise SystemExit(f"no event log at {path}; record one with "
+                         f"`repro demo --record {path} --cycles 1`")
+    graph = ProvenanceGraph.from_events(read_events(path))
+    try:
+        chain = graph.explain(args.alert_id)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0])) from None
+    print(chain.render())
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Tail/filter a recorded event log, or schema-validate it."""
+    if not args.validate and not args.file:
+        raise SystemExit("pass --file LOG to read or --validate LOG "
+                         "to schema-check")
+    path = Path(args.validate if args.validate else args.file)
+    if not path.exists():
+        raise SystemExit(f"no event log at {path}")
+    if args.validate:
+        with path.open("r", encoding="utf-8") as handle:
+            problems = validate_jsonl(handle)
+        if problems:
+            for lineno, error in problems:
+                print(f"{path}:{lineno}: {error}", file=sys.stderr)
+            print(f"{len(problems)} schema problem(s)", file=sys.stderr)
+            return 1
+        n_lines = sum(
+            1 for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        )
+        print(f"{path}: {n_lines} events OK (schema v1)")
+        return 0
+    events = read_events(path)
+    if args.type:
+        events = [e for e in events if e.event_type == args.type]
+    if args.tail:
+        events = events[-args.tail:]
+    for event in events:
+        print(event.to_json())
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the demo pipeline and dump Prometheus-format metrics."""
+    tracer = _tracer(args)
+    if not tracer.enabled:
+        tracer = Tracer()
+    event_log = _event_log(args)
+    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+        tracer=tracer,
+        event_log=event_log,
+    )
+    etap.gather()
+    etap.train()
+    events = etap.extract_trigger_events()
+    etap.company_report(events)
+    text = prometheus_text(
+        tracer.registry,
+        gauges=derive_gauges(tracer.registry, event_log=event_log),
+    )
+    parse_prometheus_text(text)  # self-check: output must be parseable
+    print(text, end="")
     return 0
 
 
@@ -262,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="trace the run and print a per-stage tree "
              "(wall-time, items, throughput) to stderr",
+    )
+    profiled.add_argument(
+        "--record", metavar="FILE", default=None,
+        help="turn on the flight recorder and write every pipeline "
+             "event to FILE as JSONL",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -305,6 +451,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="end-to-end demo, no workspace")
     demo.add_argument("--docs", type=int, default=800)
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--cycles", type=int, default=0,
+        help="after training, evolve the web and poll the alert "
+             "service this many times (alerts land in --record)",
+    )
+    demo.add_argument("--new-docs", type=int, default=30,
+                      dest="new_docs",
+                      help="fresh documents published per cycle")
+    demo.add_argument("--alert-threshold", type=float, default=0.9,
+                      dest="alert_threshold")
     demo.set_defaults(func=cmd_demo)
 
     stats = sub.add_parser(
@@ -336,6 +492,42 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=7)
     trace.set_defaults(func=cmd_trace)
 
+    explain = sub.add_parser(
+        "explain",
+        help="render an alert's full provenance chain (URL -> doc -> "
+             "snippet -> features -> score -> rank) from an event log",
+    )
+    explain.add_argument("alert_id",
+                         help="alert id printed by `repro demo --cycles`")
+    explain.add_argument("--events", required=True,
+                         help="JSONL event log written via --record")
+    explain.set_defaults(func=cmd_explain)
+
+    events = sub.add_parser(
+        "events",
+        help="tail/filter a recorded JSONL event log, or validate it "
+             "against the event schema",
+    )
+    events.add_argument("--file", default=None,
+                        help="JSONL event log to read")
+    events.add_argument("--type", default=None,
+                        help="only events of this type")
+    events.add_argument("--tail", type=int, default=0,
+                        help="only the last N matching events")
+    events.add_argument("--validate", metavar="FILE", default=None,
+                        help="schema-check FILE and exit non-zero on "
+                             "any invalid record")
+    events.set_defaults(func=cmd_events)
+
+    metrics = sub.add_parser(
+        "metrics", parents=[profiled],
+        help="run the demo pipeline and dump its metrics in "
+             "Prometheus text format",
+    )
+    metrics.add_argument("--docs", type=int, default=800)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.set_defaults(func=cmd_metrics)
+
     return parser
 
 
@@ -344,8 +536,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     profiling = getattr(args, "profile", False)
     args.tracer = Tracer() if profiling else NULL_TRACER
-    with args.tracer.span(args.command):
-        code = args.func(args)
+    recording = getattr(args, "record", None)
+    args.event_log = (
+        EventLog(sink=recording) if recording else NULL_EVENT_LOG
+    )
+    if args.event_log.enabled:
+        args.event_log.emit("run_started", command=args.command)
+    try:
+        with args.tracer.span(args.command):
+            code = args.func(args)
+    finally:
+        args.event_log.close()
+    if recording:
+        print(
+            f"recorded {args.event_log.total_emitted} events -> "
+            f"{recording}",
+            file=sys.stderr,
+        )
     if profiling:
         print(
             StageReport.from_tracer(args.tracer).render(),

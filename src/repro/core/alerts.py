@@ -10,11 +10,30 @@ per new trigger event.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.etap import Etap
 from repro.core.ranking import TriggerEvent, make_trigger_events, rank_events
 from repro.gather.dedup import NearDuplicateIndex
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+
+
+def idempotency_key(
+    driver_id: str, snippet_id: str, companies: Sequence[str] = ()
+) -> str:
+    """Stable key for one (driver, snippet, companies) alert identity.
+
+    Derived from the snippet's lineage (``doc_id#index``), so the same
+    story re-surfacing in a later poll — or the same snippet flagged
+    for the same companies again — maps to the same key and is
+    suppressed instead of re-alerted.
+    """
+    material = "|".join(
+        [driver_id, snippet_id, ",".join(sorted(companies))]
+    )
+    return hashlib.sha1(material.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -24,6 +43,8 @@ class Alert:
     cycle: int
     driver_id: str
     event: TriggerEvent
+    #: Idempotency key; doubles as the id ``repro explain`` looks up.
+    alert_id: str = ""
 
     @property
     def text(self) -> str:
@@ -52,6 +73,7 @@ class AlertService:
         etap: Etap,
         threshold: float | None = None,
         suppress_near_duplicates: bool = False,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         if not etap.classifiers:
             raise ValueError(
@@ -62,8 +84,16 @@ class AlertService:
             etap.config.trigger_threshold if threshold is None
             else threshold
         )
+        # Default to the Etap's recorder so the whole alert loop lands
+        # in one event stream.
+        self.event_log = (
+            event_log if event_log is not None else etap.event_log
+        ) or NULL_EVENT_LOG
         self._processed_docs: set[str] = set(etap.store.doc_ids())
         self._cycle = 0
+        # Idempotency: (driver, snippet, companies) identities already
+        # alerted, across every poll so far.
+        self._emitted_keys: set[str] = set()
         # One index per driver: the same story syndicated across sites
         # should alert once, ever.
         self._seen_alert_text: dict[str, NearDuplicateIndex] | None = (
@@ -109,21 +139,95 @@ class AlertService:
                     [item for item, _ in flagged],
                     [score for _, score in flagged],
                     normalizer=self.etap.normalizer,
+                    url_of=self.etap.url_of,
                 )
             )
             if self._seen_alert_text is not None:
                 events = self._drop_duplicate_stories(
                     driver.driver_id, events
                 )
-            report.alerts.extend(
-                Alert(
+            if self.event_log.enabled:
+                self._record_classifications(
+                    driver.driver_id, events, scores
+                )
+            for event in events:
+                key = idempotency_key(
+                    driver.driver_id, event.snippet_id, event.companies
+                )
+                if key in self._emitted_keys:
+                    continue
+                self._emitted_keys.add(key)
+                alert = Alert(
                     cycle=self._cycle,
                     driver_id=driver.driver_id,
                     event=event,
+                    alert_id=key,
                 )
-                for event in events
-            )
+                report.alerts.append(alert)
+                self.event_log.emit(
+                    "alert_emitted",
+                    lineage_id=event.doc_id,
+                    alert_id=key,
+                    cycle=self._cycle,
+                    driver_id=driver.driver_id,
+                    snippet_id=event.snippet_id,
+                    doc_id=event.doc_id,
+                    score=event.score,
+                    rank=event.rank,
+                    url=event.url,
+                    companies=list(event.companies),
+                    text=event.text,
+                )
         return report
+
+    def _record_classifications(
+        self,
+        driver_id: str,
+        events: list[TriggerEvent],
+        scores,
+    ) -> None:
+        """Flight-record one poll's classifier decisions for ``driver_id``.
+
+        Emits ``snippet_scored`` + ``trigger_classified`` (with feature
+        evidence) so every subsequent alert has a complete provenance
+        chain, and runs the driver's drift monitor over the poll's full
+        score batch.  Recorder-on path only.
+        """
+        classifier = self.etap.classifiers[driver_id]
+        for event in events:
+            self.event_log.emit(
+                "snippet_scored",
+                lineage_id=event.doc_id,
+                snippet_id=event.snippet_id,
+                doc_id=event.doc_id,
+                driver_id=driver_id,
+                score=event.score,
+            )
+            self.event_log.emit(
+                "trigger_classified",
+                lineage_id=event.doc_id,
+                snippet_id=event.snippet_id,
+                doc_id=event.doc_id,
+                driver_id=driver_id,
+                score=event.score,
+                rank=event.rank,
+                features=classifier.explain(event.item),
+                companies=list(event.companies),
+                text=event.text,
+                url=event.url,
+            )
+        monitor = self.etap.drift_monitors.get(driver_id)
+        if monitor is None:
+            return
+        for drift in monitor.check_scores(list(scores)):
+            self.event_log.emit(
+                "drift_warning",
+                monitor=drift.monitor,
+                value=drift.value,
+                threshold=drift.threshold,
+                driver_id=drift.driver_id,
+                detail=drift.detail,
+            )
 
     def _drop_duplicate_stories(
         self, driver_id: str, events: list[TriggerEvent]

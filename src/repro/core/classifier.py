@@ -23,6 +23,7 @@ from repro.ml.noise import (
     DenoiseResult,
     IterativeNoiseReducer,
 )
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.text.stem import PorterStemmer
 
@@ -57,9 +58,11 @@ class TriggerEventClassifier:
         max_denoise_iter: int = 2,
         oversample_pure: int = 3,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         self.driver_id = driver_id
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
         self.policy = policy or AbstractionPolicy.paper_default()
         self._stemmer = PorterStemmer()
         self.vectorizer = Vectorizer(
@@ -134,6 +137,15 @@ class TriggerEventClassifier:
             n_features=self.vectorizer.n_features,
             fit_seconds=span.duration,
         )
+        self.event_log.emit(
+            "model_trained",
+            driver_id=self.driver_id,
+            n_noisy_positive=self.summary.n_noisy_positive,
+            n_noisy_kept=self.summary.n_noisy_kept,
+            n_negative=self.summary.n_negative,
+            n_features=self.summary.n_features,
+            n_iterations=self.summary.n_iterations,
+        )
         return self
 
     # -- inference ----------------------------------------------------------
@@ -155,3 +167,60 @@ class TriggerEventClassifier:
     ) -> np.ndarray:
         """Hard trigger / non-trigger decisions."""
         return (self.score(items) >= threshold).astype(np.int64)
+
+    # -- explanation --------------------------------------------------------
+
+    def _feature_weights(self) -> np.ndarray | None:
+        """Per-feature log-odds toward the trigger class, if available.
+
+        Works for the models this pipeline actually trains: multinomial
+        NB (``feature_log_prob_``), Bernoulli NB (``_log_p/_log_q``),
+        and logistic regression (``weights_``).  Exotic models (voting
+        ensembles, calibrated wrappers) return ``None`` — explanation
+        degrades to an empty evidence list rather than failing.
+        """
+        model = self._model
+        if model is None:
+            return None
+        flp = getattr(model, "feature_log_prob_", None)
+        if flp is not None:
+            return np.asarray(flp[1] - flp[0])
+        log_p = getattr(model, "_log_p", None)
+        log_q = getattr(model, "_log_q", None)
+        if log_p is not None and log_q is not None:
+            delta = np.asarray(log_p) - np.asarray(log_q)
+            return delta[1] - delta[0]
+        weights = getattr(model, "weights_", None)
+        if weights is not None:
+            return np.asarray(weights)
+        return None
+
+    def explain(
+        self, item: AnnotatedSnippet, top_n: int = 5
+    ) -> list[tuple[str, float]]:
+        """Top contributing features for one snippet's trigger score.
+
+        Contribution = (feature count in the snippet) x (the model's
+        per-feature log-odds toward the trigger class); the result is
+        sorted by absolute contribution, largest first.  The provenance
+        chain renders these as the alert's "feature evidence".
+        """
+        if self._model is None:
+            raise RuntimeError("classifier must be fit before explain")
+        weights = self._feature_weights()
+        if weights is None:
+            return []
+        X = self.vectorizer.transform([self.features_of(item)])
+        row = np.asarray(X.todense()).ravel()
+        contributions = row * weights
+        nonzero = np.flatnonzero(contributions)
+        if nonzero.size == 0:
+            return []
+        ranked = nonzero[
+            np.argsort(-np.abs(contributions[nonzero]), kind="stable")
+        ][:top_n]
+        names = self.vectorizer.feature_names()
+        return [
+            (names[index], float(contributions[index]))
+            for index in ranked
+        ]

@@ -54,6 +54,8 @@ from repro.features.abstraction import AbstractionPolicy
 from repro.gather.pipeline import DataGatherer, GatherReport
 from repro.gather.store import DocumentStore
 from repro.ml.noise import ClassifierFactory
+from repro.obs.drift import DriftBaseline, DriftMonitor, DriftThresholds
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
 from repro.text.annotator import Annotator
@@ -76,6 +78,11 @@ class EtapConfig:
     )
     classifier_factory: ClassifierFactory | None = None
     max_crawl_pages: int = 100_000
+    drift_thresholds: DriftThresholds = field(
+        default_factory=DriftThresholds
+    )
+    #: How many snippets per extraction feed the OOV drift monitor.
+    drift_token_sample: int = 500
 
 
 class Etap:
@@ -89,6 +96,7 @@ class Etap:
         config: EtapConfig | None = None,
         web: SyntheticWeb | None = None,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         self.config = config or EtapConfig()
         self.drivers = list(drivers) if drivers else builtin_drivers()
@@ -96,8 +104,11 @@ class Etap:
         self.engine = engine
         self._web = web
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
         if engine.tracer is NULL_TRACER:
             engine.tracer = self.tracer
+        if engine.event_log is NULL_EVENT_LOG:
+            engine.event_log = self.event_log
         self.annotator = Annotator(self.config.ner)
         self.training = TrainingDataGenerator(
             store=store,
@@ -111,6 +122,7 @@ class Etap:
         self.normalizer = CompanyNormalizer()
         self.classifiers: dict[str, TriggerEventClassifier] = {}
         self.noisy_reports: dict[str, NoisyPositiveReport] = {}
+        self.drift_monitors: dict[str, DriftMonitor] = {}
 
     # -- constructors ---------------------------------------------------------
 
@@ -121,11 +133,15 @@ class Etap:
         drivers: Sequence[SalesDriver] | None = None,
         config: EtapConfig | None = None,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> "Etap":
         """Build an ETAP whose gather step crawls the given web."""
         config = config or EtapConfig()
         gatherer = DataGatherer(
-            web, max_pages=config.max_crawl_pages, tracer=tracer
+            web,
+            max_pages=config.max_crawl_pages,
+            tracer=tracer,
+            event_log=event_log,
         )
         etap = cls(
             store=gatherer.store,
@@ -134,6 +150,7 @@ class Etap:
             config=config,
             web=web,
             tracer=tracer,
+            event_log=event_log,
         )
         etap._gatherer = gatherer
         return etap
@@ -178,6 +195,7 @@ class Etap:
                     max_denoise_iter=self.config.max_denoise_iter,
                     oversample_pure=self.config.oversample_pure,
                     tracer=self.tracer,
+                    event_log=self.event_log,
                 )
                 classifier.fit(
                     noisy_positive=noisy,
@@ -188,6 +206,10 @@ class Etap:
                 )
                 self.classifiers[driver.driver_id] = classifier
                 summaries[driver.driver_id] = classifier.summary
+                if self.event_log.enabled:
+                    self._install_drift_monitor(
+                        classifier, list(noisy) + list(negatives)
+                    )
             span.add_items(
                 sum(s.n_noisy_positive for s in summaries.values())
             )
@@ -249,12 +271,26 @@ class Etap:
                         [item for item, _ in flagged],
                         [score for _, score in flagged],
                         normalizer=self.normalizer,
+                        url_of=self.url_of,
                     )
                     events[driver.driver_id] = rank_events(driver_events)
                     score_span.add_items(len(all_items))
                 self.tracer.count(
                     "extract.trigger_events", len(flagged)
                 )
+                self.tracer.count(
+                    f"extract.scored[{driver.driver_id}]", len(all_items)
+                )
+                self.tracer.count(
+                    f"extract.flagged[{driver.driver_id}]", len(flagged)
+                )
+                if self.event_log.enabled:
+                    self._record_extraction(
+                        driver.driver_id,
+                        events[driver.driver_id],
+                        scores,
+                        all_items,
+                    )
             extract_span.add_items(len(all_items))
         return events
 
@@ -280,11 +316,91 @@ class Etap:
         """
         if industry is not None:
             return industry.lead_list(events_by_driver)
-        return CompanyRanker(tracer=self.tracer).score_companies(
-            events_by_driver
-        )
+        return CompanyRanker(
+            tracer=self.tracer, event_log=self.event_log
+        ).score_companies(events_by_driver)
 
     # -- helpers ------------------------------------------------------------------
+
+    def url_of(self, doc_id: str) -> str:
+        """URL of a stored document; empty when unknown.
+
+        The provenance join key threaded through every
+        :class:`TriggerEvent` built by this facade.
+        """
+        if doc_id in self.store:
+            return self.store.get(doc_id).url
+        return ""
+
+    def _install_drift_monitor(
+        self,
+        classifier: TriggerEventClassifier,
+        training_items,
+    ) -> None:
+        """Freeze a train-time baseline for the drift monitors."""
+        if not training_items:
+            return
+        baseline = DriftBaseline.from_training(
+            driver_id=classifier.driver_id,
+            scores=classifier.score(training_items),
+            vocabulary=classifier.vectorizer.vocabulary,
+            threshold=self.config.trigger_threshold,
+        )
+        self.drift_monitors[classifier.driver_id] = DriftMonitor(
+            baseline, thresholds=self.config.drift_thresholds
+        )
+
+    def _record_extraction(
+        self,
+        driver_id: str,
+        ranked_events: list[TriggerEvent],
+        scores,
+        all_items,
+    ) -> None:
+        """Flight-record one driver's extraction pass.
+
+        Emits ``snippet_scored`` + ``trigger_classified`` (with feature
+        evidence) per ranked event and runs the driver's drift monitor
+        over the full score batch.  Only called when the recorder is on,
+        so the explain/drift cost never touches the default path.
+        """
+        classifier = self._classifier(driver_id)
+        for event in ranked_events:
+            self.event_log.emit(
+                "snippet_scored",
+                lineage_id=event.doc_id,
+                snippet_id=event.snippet_id,
+                doc_id=event.doc_id,
+                driver_id=driver_id,
+                score=event.score,
+            )
+            self.event_log.emit(
+                "trigger_classified",
+                lineage_id=event.doc_id,
+                snippet_id=event.snippet_id,
+                doc_id=event.doc_id,
+                driver_id=driver_id,
+                score=event.score,
+                rank=event.rank,
+                features=classifier.explain(event.item),
+                companies=list(event.companies),
+                text=event.text,
+                url=event.url,
+            )
+        monitor = self.drift_monitors.get(driver_id)
+        if monitor is None:
+            return
+        sample = all_items[: self.config.drift_token_sample]
+        token_lists = [classifier.features_of(item) for item in sample]
+        for report in monitor.check(list(scores), token_lists):
+            self.event_log.emit(
+                "drift_warning",
+                monitor=report.monitor,
+                value=report.value,
+                threshold=report.threshold,
+                driver_id=report.driver_id,
+                detail=report.detail,
+            )
 
     def _classifier(self, driver_id: str) -> TriggerEventClassifier:
         try:

@@ -15,25 +15,34 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.company import CompanyNormalizer
 from repro.core.lexicon import OrientationLexicon
 from repro.core.temporal import score_with_recency
 from repro.core.training import AnnotatedSnippet
 from repro.gather.dedup import NearDuplicateIndex
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 
 
 @dataclass(frozen=True)
 class TriggerEvent:
-    """A snippet flagged as a trigger event for one sales driver."""
+    """A snippet flagged as a trigger event for one sales driver.
+
+    ``url`` is the originating document's address — the provenance join
+    key that lets ``repro explain`` tie an alert back to the page the
+    crawler fetched.  It is populated when the event is built with a
+    ``url_of`` resolver (the Etap and alert-service paths do this) and
+    stays empty for events built from bare snippets.
+    """
 
     driver_id: str
     item: AnnotatedSnippet
     score: float
     rank: int | None = None
     companies: tuple[str, ...] = ()
+    url: str = ""
 
     @property
     def text(self) -> str:
@@ -43,14 +52,24 @@ class TriggerEvent:
     def snippet_id(self) -> str:
         return self.item.snippet.snippet_id
 
+    @property
+    def doc_id(self) -> str:
+        """Stable id of the originating document (lineage key)."""
+        return self.item.snippet.doc_id
+
 
 def make_trigger_events(
     driver_id: str,
     items: Sequence[AnnotatedSnippet],
     scores: Sequence[float],
     normalizer: CompanyNormalizer | None = None,
+    url_of: Callable[[str], str] | None = None,
 ) -> list[TriggerEvent]:
-    """Pair snippets with scores and extract their company mentions."""
+    """Pair snippets with scores and extract their company mentions.
+
+    ``url_of`` maps a doc_id to the document's URL so every event
+    carries its provenance join key; without it ``url`` stays empty.
+    """
     if len(items) != len(scores):
         raise ValueError("items and scores must align")
     normalizer = normalizer or CompanyNormalizer()
@@ -60,6 +79,7 @@ def make_trigger_events(
             item=item,
             score=float(score),
             companies=tuple(normalizer.companies_in(item.annotated)),
+            url=url_of(item.snippet.doc_id) if url_of else "",
         )
         for item, score in zip(items, scores)
     ]
@@ -188,6 +208,7 @@ class CompanyRanker:
         self,
         driver_weights: dict[str, float] | None = None,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         if driver_weights is not None:
             bad = [d for d, w in driver_weights.items() if w < 0]
@@ -197,6 +218,7 @@ class CompanyRanker:
                 )
         self.driver_weights = driver_weights or {}
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
 
     def _weight(self, driver_id: str) -> float:
         return self.driver_weights.get(driver_id, 1.0)
@@ -231,4 +253,14 @@ class CompanyRanker:
                 if weight_sum[company] > 0
             ]
             self.tracer.count("rank.companies_scored", len(scores))
-        return sorted(scores, key=lambda s: (-s.mrr, s.company))
+        ordered = sorted(scores, key=lambda s: (-s.mrr, s.company))
+        if self.event_log.enabled:
+            for position, lead in enumerate(ordered, start=1):
+                self.event_log.emit(
+                    "company_ranked",
+                    company=lead.company,
+                    mrr=lead.mrr,
+                    position=position,
+                    n_trigger_events=lead.n_trigger_events,
+                )
+        return ordered

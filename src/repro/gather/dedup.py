@@ -19,6 +19,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+
 _MERSENNE = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
 
@@ -117,8 +119,10 @@ class NearDuplicateIndex:
         bands: int = 24,
         shingle_k: int = 3,
         threshold: float = 0.8,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         self.hasher = hasher or MinHasher()
+        self.event_log = event_log or NULL_EVENT_LOG
         if self.hasher.n_permutations % bands != 0:
             raise ValueError(
                 "bands must divide the number of permutations"
@@ -164,6 +168,13 @@ class NearDuplicateIndex:
             )
             if similarity >= self.threshold:
                 pairs.append(DuplicatePair(other, key, similarity))
+                self.event_log.emit(
+                    "near_duplicate",
+                    lineage_id=key,
+                    key=key,
+                    duplicate_of=other,
+                    similarity=similarity,
+                )
         self._signatures[key] = signature
         for band, band_key in self._band_keys(signature):
             self._buckets[band][band_key].append(key)

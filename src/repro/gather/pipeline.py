@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.corpus.web import SyntheticWeb
 from repro.gather.dedup import NearDuplicateIndex
 from repro.gather.store import DocumentStore, StoredDocument
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.crawler import FocusedCrawler, PageScorer, business_relevance
 from repro.search.engine import SearchEngine
@@ -55,11 +56,15 @@ class DataGatherer:
         near_dedup: bool = False,
         near_dedup_threshold: float = 0.7,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         self.web = web
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
         self.store = DocumentStore()
-        self.engine = SearchEngine(tracer=self.tracer)
+        self.engine = SearchEngine(
+            tracer=self.tracer, event_log=self.event_log
+        )
         self._crawler = FocusedCrawler(
             web,
             scorer=scorer,
@@ -68,9 +73,13 @@ class DataGatherer:
             ),
             max_depth=10,
             tracer=self.tracer,
+            event_log=self.event_log,
         )
         self._near_index = (
-            NearDuplicateIndex(threshold=near_dedup_threshold)
+            NearDuplicateIndex(
+                threshold=near_dedup_threshold,
+                event_log=self.event_log,
+            )
             if near_dedup
             else None
         )
@@ -101,6 +110,13 @@ class DataGatherer:
                         and self._near_index.is_near_duplicate(page.text)
                     ):
                         near_skipped += 1
+                        self.event_log.emit(
+                            "doc_deduped",
+                            lineage_id=page.document.doc_id,
+                            doc_id=page.document.doc_id,
+                            url=page.url,
+                            reason="near",
+                        )
                         continue
                     document = StoredDocument(
                         doc_id=page.document.doc_id,
@@ -117,12 +133,26 @@ class DataGatherer:
                         self.engine.add_document(
                             document.doc_id, document.text, document.title
                         )
+                        self.event_log.emit(
+                            "doc_indexed",
+                            lineage_id=document.doc_id,
+                            doc_id=document.doc_id,
+                            url=document.url,
+                            title=document.title,
+                        )
                         if self._near_index is not None:
                             self._near_index.add(
                                 document.doc_id, document.text
                             )
                     else:
                         skipped += 1
+                        self.event_log.emit(
+                            "doc_deduped",
+                            lineage_id=document.doc_id,
+                            doc_id=document.doc_id,
+                            url=document.url,
+                            reason="exact",
+                        )
                 index_span.add_items(stored)
             gather_span.add_items(stored)
             self.tracer.count("gather.documents_stored", stored)

@@ -57,6 +57,11 @@ class RevisitScheduler:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def queue_depth(self) -> int:
+        """Pending queue entries (includes lazily removed URLs)."""
+        return len(self._heap)
+
     def track(self, url: str) -> None:
         """Start tracking a URL; due immediately."""
         if url in self._entries:

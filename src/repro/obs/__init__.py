@@ -1,21 +1,55 @@
-"""Pipeline observability: tracing spans, counters, stage reports.
+"""Pipeline observability: spans, counters, events, provenance, drift.
 
-The measurement substrate for the gather -> train -> extract pipeline.
+Two complementary layers share this package:
+
+* the **measurement substrate** (PR 1) — :class:`Tracer` spans,
+  :class:`Registry` counters/histograms, :class:`StageReport`;
+* the **flight recorder** — :class:`EventLog` typed JSONL events,
+  :class:`ProvenanceGraph` alert explanation, Prometheus text export,
+  and :class:`DriftMonitor` train-vs-score checks.
+
 Instrumented entry points (crawler, gatherer, search engine, training
-generator, classifiers, :class:`~repro.core.etap.Etap`, CLI) accept an
-optional :class:`Tracer`; the default :data:`NULL_TRACER` makes the
-instrumentation free when profiling is off.
+generator, classifiers, :class:`~repro.core.etap.Etap`, alert service,
+CLI) accept an optional :class:`Tracer` and/or :class:`EventLog`; the
+defaults :data:`NULL_TRACER` and :data:`NULL_EVENT_LOG` make the
+instrumentation free when it is off.
 
-    from repro.obs import Tracer, StageReport
+    from repro.obs import EventLog, ProvenanceGraph, Tracer
 
-    tracer = Tracer()
-    etap = Etap.from_web(web, tracer=tracer)
-    etap.gather(); etap.train(); etap.extract_trigger_events()
-    print(StageReport.from_tracer(tracer).render())
+    log = EventLog(sink="events.jsonl")
+    etap = Etap.from_web(web, event_log=log)
+    etap.gather(); etap.train()
+    ...
+    graph = ProvenanceGraph.from_events(log.events())
+    print(graph.explain(alert_id).render())
 """
 
 from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.drift import (
+    DriftBaseline,
+    DriftMonitor,
+    DriftReport,
+    DriftThresholds,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    NULL_EVENT_LOG,
+    SCHEMA_VERSION,
+    AnyEventLog,
+    Event,
+    EventLog,
+    NullEventLog,
+    read_events,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.export import (
+    derive_gauges,
+    parse_prometheus_text,
+    prometheus_text,
+)
 from repro.obs.metrics import Counter, Histogram, Registry
+from repro.obs.provenance import ProvenanceChain, ProvenanceGraph
 from repro.obs.report import StageReport
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -38,4 +72,23 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "StageReport",
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "AnyEventLog",
+    "read_events",
+    "validate_jsonl",
+    "validate_record",
+    "ProvenanceChain",
+    "ProvenanceGraph",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "derive_gauges",
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftThresholds",
 ]

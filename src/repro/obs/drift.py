@@ -1,0 +1,201 @@
+"""Classifier drift monitors: compare scoring-time behaviour to training.
+
+A deployed ETAP keeps scoring fresh crawls with classifiers trained on
+an earlier snapshot of the web.  Three cheap monitors catch the usual
+failure modes before an analyst notices bad leads:
+
+* **class-balance shift** — the fraction of snippets scored above the
+  trigger threshold moves far from the rate seen on training data
+  (classifier suddenly firing on everything, or nothing);
+* **score-distribution divergence** — total-variation distance between
+  the binned training score histogram and the live one;
+* **vocabulary OOV rate** — fraction of abstracted feature tokens the
+  vectorizer has never seen (the web's language moved on).
+
+Each breach becomes a ``drift_warning`` event on the flight recorder,
+so drift shows up in the same log that explains alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Breach levels; defaults are deliberately permissive."""
+
+    class_balance_shift: float = 0.25
+    score_divergence: float = 0.35
+    oov_rate: float = 0.30
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One monitor's breach: value crossed threshold."""
+
+    driver_id: str
+    monitor: str
+    value: float
+    threshold: float
+    detail: str = ""
+
+
+def score_histogram(
+    scores: Sequence[float], bins: int = 10
+) -> tuple[float, ...]:
+    """Normalized histogram of scores over [0, 1] (clamped)."""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    counts = [0] * bins
+    for score in scores:
+        clamped = min(max(float(score), 0.0), 1.0)
+        index = min(int(clamped * bins), bins - 1)
+        counts[index] += 1
+    total = len(scores)
+    if total == 0:
+        return tuple(0.0 for _ in counts)
+    return tuple(count / total for count in counts)
+
+
+def total_variation(
+    p: Sequence[float], q: Sequence[float]
+) -> float:
+    """Total-variation distance between two discrete distributions."""
+    if len(p) != len(q):
+        raise ValueError("distributions must have equal length")
+    return 0.5 * sum(abs(a - b) for a, b in zip(p, q))
+
+
+@dataclass(frozen=True)
+class DriftBaseline:
+    """What training looked like, frozen at fit time."""
+
+    driver_id: str
+    positive_rate: float
+    histogram: tuple[float, ...]
+    vocabulary: frozenset[str] = field(default_factory=frozenset)
+    threshold: float = 0.5
+
+    @classmethod
+    def from_training(
+        cls,
+        driver_id: str,
+        scores: Sequence[float],
+        vocabulary: Iterable[str] = (),
+        threshold: float = 0.5,
+        bins: int = 10,
+    ) -> "DriftBaseline":
+        scores = [float(s) for s in scores]
+        positive = sum(1 for s in scores if s >= threshold)
+        rate = positive / len(scores) if scores else 0.0
+        return cls(
+            driver_id=driver_id,
+            positive_rate=rate,
+            histogram=score_histogram(scores, bins=bins),
+            vocabulary=frozenset(vocabulary),
+            threshold=threshold,
+        )
+
+
+class DriftMonitor:
+    """Checks live scoring batches against a training baseline."""
+
+    def __init__(
+        self,
+        baseline: DriftBaseline,
+        thresholds: DriftThresholds | None = None,
+        min_batch: int = 20,
+    ) -> None:
+        self.baseline = baseline
+        self.thresholds = thresholds or DriftThresholds()
+        #: Batches smaller than this are too noisy to judge.
+        self.min_batch = min_batch
+
+    def check_scores(
+        self, scores: Sequence[float]
+    ) -> list[DriftReport]:
+        """Class-balance and score-distribution monitors."""
+        if len(scores) < self.min_batch:
+            return []
+        reports: list[DriftReport] = []
+        scores = [float(s) for s in scores]
+
+        positive = sum(
+            1 for s in scores if s >= self.baseline.threshold
+        )
+        live_rate = positive / len(scores)
+        shift = abs(live_rate - self.baseline.positive_rate)
+        if shift > self.thresholds.class_balance_shift:
+            reports.append(
+                DriftReport(
+                    driver_id=self.baseline.driver_id,
+                    monitor="class_balance",
+                    value=shift,
+                    threshold=self.thresholds.class_balance_shift,
+                    detail=(
+                        f"train positive rate "
+                        f"{self.baseline.positive_rate:.3f}, "
+                        f"live {live_rate:.3f}"
+                    ),
+                )
+            )
+
+        live_hist = score_histogram(
+            scores, bins=len(self.baseline.histogram)
+        )
+        divergence = total_variation(self.baseline.histogram, live_hist)
+        if divergence > self.thresholds.score_divergence:
+            reports.append(
+                DriftReport(
+                    driver_id=self.baseline.driver_id,
+                    monitor="score_distribution",
+                    value=divergence,
+                    threshold=self.thresholds.score_divergence,
+                    detail=(
+                        f"total variation {divergence:.3f} over "
+                        f"{len(live_hist)} bins"
+                    ),
+                )
+            )
+        return reports
+
+    def check_tokens(
+        self, token_lists: Sequence[Sequence[str]]
+    ) -> list[DriftReport]:
+        """Vocabulary OOV monitor over abstracted feature tokens."""
+        if not self.baseline.vocabulary:
+            return []
+        total = 0
+        unseen = 0
+        for tokens in token_lists:
+            for token in tokens:
+                total += 1
+                if token not in self.baseline.vocabulary:
+                    unseen += 1
+        if total < self.min_batch:
+            return []
+        rate = unseen / total
+        if rate <= self.thresholds.oov_rate:
+            return []
+        return [
+            DriftReport(
+                driver_id=self.baseline.driver_id,
+                monitor="vocabulary_oov",
+                value=rate,
+                threshold=self.thresholds.oov_rate,
+                detail=f"{unseen}/{total} tokens out of vocabulary",
+            )
+        ]
+
+    def check(
+        self,
+        scores: Sequence[float],
+        token_lists: Sequence[Sequence[str]] | None = None,
+    ) -> list[DriftReport]:
+        """Run every monitor; returns only breaches."""
+        reports = self.check_scores(scores)
+        if token_lists is not None:
+            reports.extend(self.check_tokens(token_lists))
+        return reports

@@ -1,0 +1,353 @@
+"""The flight recorder: typed, schema-versioned pipeline events.
+
+Every pipeline stage can report *what happened and why* as an
+:class:`Event` — a crawl fetched a page, the store deduplicated a
+document, a classifier flagged a snippet, the alert service emitted an
+alert.  Events are plain JSON-able records with a shared envelope
+(schema version, run id, sequence number, timestamp, optional per-
+document ``lineage_id``) plus a typed payload, so a run's event log can
+be persisted as JSONL, validated against the schema, and replayed into
+a :class:`~repro.obs.provenance.ProvenanceGraph` that explains any
+alert back to the page that produced it.
+
+Instrumented code takes an optional ``event_log`` that defaults to
+:data:`NULL_EVENT_LOG`; as with the null tracer, the recorder-off path
+is a single no-op method call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.obs.clock import Clock, MonotonicClock
+
+#: Version of the event envelope + payload schemas below.  Bump when a
+#: required field is added/renamed; ``validate_record`` rejects records
+#: from other versions so downstream tooling never misreads a log.
+SCHEMA_VERSION = 1
+
+#: Event type -> payload fields that must be present (extra fields are
+#: always allowed; the schema is a floor, not a ceiling).
+EVENT_TYPES: dict[str, frozenset[str]] = {
+    "run_started": frozenset({"command"}),
+    "page_crawled": frozenset({"url", "depth"}),
+    "doc_indexed": frozenset({"doc_id", "url"}),
+    "doc_deduped": frozenset({"doc_id", "reason"}),
+    "near_duplicate": frozenset({"key", "duplicate_of", "similarity"}),
+    "search_executed": frozenset({"query", "n_results"}),
+    "model_trained": frozenset(
+        {
+            "driver_id",
+            "n_noisy_positive",
+            "n_noisy_kept",
+            "n_negative",
+            "n_features",
+            "n_iterations",
+        }
+    ),
+    "snippet_scored": frozenset(
+        {"snippet_id", "doc_id", "driver_id", "score"}
+    ),
+    "trigger_classified": frozenset(
+        {"snippet_id", "doc_id", "driver_id", "score", "rank", "features"}
+    ),
+    "alert_emitted": frozenset(
+        {
+            "alert_id",
+            "cycle",
+            "driver_id",
+            "snippet_id",
+            "doc_id",
+            "score",
+        }
+    ),
+    "company_ranked": frozenset({"company", "mrr", "position"}),
+    "drift_warning": frozenset({"monitor", "value", "threshold"}),
+}
+
+_ENVELOPE_FIELDS = frozenset(
+    {"schema_version", "run_id", "seq", "ts", "event_type", "lineage_id",
+     "payload"}
+)
+
+
+def new_run_id() -> str:
+    """A short, collision-resistant id for one pipeline run."""
+    return os.urandom(6).hex()
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded pipeline occurrence."""
+
+    event_type: str
+    run_id: str
+    seq: int
+    ts: float
+    payload: dict = field(default_factory=dict)
+    lineage_id: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "ts": self.ts,
+            "event_type": self.event_type,
+            "lineage_id": self.lineage_id,
+            "payload": self.payload,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Event":
+        errors = validate_record(record)
+        if errors:
+            raise ValueError("; ".join(errors))
+        return cls(
+            event_type=record["event_type"],
+            run_id=record["run_id"],
+            seq=record["seq"],
+            ts=record["ts"],
+            payload=dict(record["payload"]),
+            lineage_id=record.get("lineage_id"),
+            schema_version=record["schema_version"],
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        return cls.from_dict(json.loads(line))
+
+
+def validate_record(record: object) -> list[str]:
+    """Schema-check one parsed JSONL record; returns human errors."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    errors: list[str] = []
+    missing = _ENVELOPE_FIELDS - set(record)
+    if missing:
+        errors.append(f"missing envelope fields: {sorted(missing)}")
+        return errors
+    if record["schema_version"] != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {record['schema_version']!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+    event_type = record["event_type"]
+    required = EVENT_TYPES.get(event_type)
+    if required is None:
+        errors.append(f"unknown event_type {event_type!r}")
+        return errors
+    payload = record["payload"]
+    if not isinstance(payload, dict):
+        errors.append("payload is not a JSON object")
+        return errors
+    missing_payload = required - set(payload)
+    if missing_payload:
+        errors.append(
+            f"{event_type}: missing payload fields "
+            f"{sorted(missing_payload)}"
+        )
+    return errors
+
+
+def validate_jsonl(
+    lines: Iterable[str],
+) -> list[tuple[int, str]]:
+    """Validate an event log's JSONL lines; returns (lineno, error)."""
+    problems: list[tuple[int, str]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append((lineno, f"invalid JSON: {exc}"))
+            continue
+        for error in validate_record(record):
+            problems.append((lineno, error))
+    return problems
+
+
+def read_events(path: str | Path) -> list[Event]:
+    """Load a JSONL event log written by :class:`EventLog`."""
+    events: list[Event] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(Event.from_json(line))
+    return events
+
+
+class EventLog:
+    """Bounded in-memory event ring with an optional JSONL file sink.
+
+    The ring (``capacity`` most recent events) keeps memory bounded on
+    long runs; the file sink, when given, receives *every* event as one
+    JSON line, so the durable record is complete even after the ring
+    wraps.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16_384,
+        sink: str | Path | IO[str] | None = None,
+        run_id: str | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.run_id = run_id or new_run_id()
+        self.clock = clock or MonotonicClock()
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._counts: Counter[str] = Counter()
+        self._owns_sink = False
+        self._sink: IO[str] | None = None
+        if sink is not None:
+            if isinstance(sink, (str, Path)):
+                self._sink = Path(sink).open("w", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink = sink
+
+    # -- recording ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(
+        self,
+        event_type: str,
+        lineage_id: str | None = None,
+        **payload,
+    ) -> Event:
+        """Record one event; payload must satisfy the type's schema."""
+        required = EVENT_TYPES.get(event_type)
+        if required is None:
+            raise ValueError(f"unknown event_type {event_type!r}")
+        missing = required - set(payload)
+        if missing:
+            raise ValueError(
+                f"{event_type}: missing payload fields {sorted(missing)}"
+            )
+        event = Event(
+            event_type=event_type,
+            run_id=self.run_id,
+            seq=self._seq,
+            ts=self.clock.now(),
+            payload=payload,
+            lineage_id=lineage_id,
+        )
+        self._seq += 1
+        self._counts[event_type] += 1
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.write(event.to_json() + "\n")
+        return event
+
+    # -- reading --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        # An empty recorder is still a recorder: without this, the
+        # ``event_log or NULL_EVENT_LOG`` wiring idiom would silently
+        # discard a fresh (len 0, hence falsy) log.
+        return True
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._ring)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the log's lifetime (ring may hold fewer)."""
+        return self._seq
+
+    def events(self, event_type: str | None = None) -> list[Event]:
+        """Ring contents, optionally filtered by type."""
+        if event_type is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.event_type == event_type]
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime per-type emission counts (survives ring wrap)."""
+        return dict(sorted(self._counts.items()))
+
+    # -- sink lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullEventLog:
+    """Zero-overhead stand-in: ``emit`` is a single no-op call."""
+
+    __slots__ = ()
+    run_id = ""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, event_type: str, lineage_id: str | None = None,
+             **payload) -> None:
+        return None
+
+    def events(self, event_type: str | None = None) -> list:
+        return []
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    @property
+    def total_emitted(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return True  # same truthiness contract as EventLog
+
+    def __iter__(self):
+        return iter(())
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op event log; the default for every instrumented code path.
+NULL_EVENT_LOG = NullEventLog()
+
+#: Either the real event log or the null stand-in (duck-typed).
+AnyEventLog = EventLog | NullEventLog

@@ -1,0 +1,176 @@
+"""Prometheus text-format export of the pipeline's metrics.
+
+Turns a :class:`~repro.obs.metrics.Registry` (counters + histograms)
+plus derived gauges into the Prometheus exposition text format, so a
+long-running deployment can be scraped — or a one-shot run dumped with
+``repro metrics`` — without any metrics-server dependency.
+
+Counters export as ``counter``; histograms as ``summary`` (quantiles +
+``_sum`` + ``_count``); everything else as ``gauge``.  Gauge names may
+carry a label suffix (``positive_rate{driver="mergers"}``), which is
+passed through verbatim after name sanitization.
+
+:func:`parse_prometheus_text` is the inverse used by tests and the
+``repro metrics`` self-check: a small strict parser of the exposition
+format that rejects malformed lines.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Registry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name to a legal Prometheus name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """Split ``name{label="x"}`` into (bare name, label suffix)."""
+    brace = name.find("{")
+    if brace == -1:
+        return name, ""
+    return name[:brace], name[brace:]
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: Registry,
+    gauges: dict[str, float] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Render the registry (and extra gauges) as exposition text."""
+    lines: list[str] = []
+
+    for name, value in registry.counters.items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, histogram in registry.histograms.items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for quantile in (50, 95):
+            lines.append(
+                f'{metric}{{quantile="0.{quantile}"}} '
+                f"{_format_value(histogram.percentile(quantile))}"
+            )
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {_format_value(histogram.count)}")
+
+    for name, value in sorted((gauges or {}).items()):
+        bare, labels = _split_labels(name)
+        metric = f"{prefix}_{sanitize_metric_name(bare)}"
+        type_line = f"# TYPE {metric} gauge"
+        if type_line not in lines:
+            lines.append(type_line)
+        lines.append(f"{metric}{labels} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    Raises :class:`ValueError` on any line that is neither a comment
+    nor a well-formed sample — the validation ``repro metrics`` relies
+    on.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ValueError(
+                f"line {lineno}: not a valid sample: {line!r}"
+            )
+        labels: tuple[tuple[str, str], ...] = ()
+        label_text = match.group("labels")
+        if label_text:
+            inner = label_text[1:-1].strip()
+            if inner:
+                parsed = _LABEL_RE.findall(inner)
+                reconstructed = ",".join(
+                    f'{k}="{v}"' for k, v in parsed
+                )
+                if reconstructed != inner.rstrip(","):
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {line!r}"
+                    )
+                labels = tuple(parsed)
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value: {line!r}"
+            ) from exc
+        samples[(match.group("name"), labels)] = value
+    return samples
+
+
+def derive_gauges(
+    registry: Registry,
+    scheduler=None,
+    event_log=None,
+) -> dict[str, float]:
+    """Pipeline-level gauges computed from recorded counters.
+
+    * ``dedup_ratio`` — fraction of crawled article pages dropped by
+      exact or near dedup;
+    * ``positive_rate{driver="..."}`` — flagged / scored snippets per
+      driver, the classifier-drift headline number;
+    * ``scheduler_queue_depth`` / ``scheduler_tracked_urls`` — revisit
+      scheduler backlog, when a scheduler is provided;
+    * ``events_emitted`` — flight-recorder volume, when a log is given.
+    """
+    counters = registry.counters
+    gauges: dict[str, float] = {}
+
+    stored = counters.get("gather.documents_stored", 0)
+    skipped = counters.get("gather.duplicates_skipped", 0)
+    near = counters.get("gather.near_duplicates_skipped", 0)
+    seen = stored + skipped + near
+    if seen:
+        gauges["dedup_ratio"] = (skipped + near) / seen
+
+    for name, flagged in counters.items():
+        match = re.match(r"extract\.flagged\[(.+)\]$", name)
+        if not match:
+            continue
+        driver_id = match.group(1)
+        scored = counters.get(f"extract.scored[{driver_id}]", 0)
+        if scored:
+            gauges[f'positive_rate{{driver="{driver_id}"}}'] = (
+                flagged / scored
+            )
+
+    if scheduler is not None:
+        gauges["scheduler_queue_depth"] = float(scheduler.queue_depth)
+        gauges["scheduler_tracked_urls"] = float(len(scheduler))
+
+    if event_log is not None and event_log.enabled:
+        gauges["events_emitted"] = float(event_log.total_emitted)
+
+    return gauges

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.corpus.web import FRONT_PAGE_URL, Page, SyntheticWeb
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 
 #: Scores a fetched page; higher means expand its links sooner.
@@ -60,6 +61,7 @@ class FocusedCrawler:
         max_pages: int = 500,
         max_depth: int = 6,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         if max_pages <= 0:
             raise ValueError("max_pages must be positive")
@@ -68,6 +70,7 @@ class FocusedCrawler:
         self.max_pages = max_pages
         self.max_depth = max_depth
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
 
     def crawl(
         self, seeds: Iterable[str] = (FRONT_PAGE_URL,)
@@ -75,22 +78,36 @@ class FocusedCrawler:
         """Crawl from ``seeds``, expanding highest-scoring pages first."""
         result = CrawlResult()
         counter = itertools.count()  # tie-break to keep heap deterministic
-        frontier: list[tuple[float, int, int, str]] = []
+        frontier: list[tuple[float, int, int, str, str | None]] = []
         seen: set[str] = set()
         for seed in seeds:
             if seed not in seen:
                 seen.add(seed)
-                heapq.heappush(frontier, (0.0, next(counter), 0, seed))
+                heapq.heappush(
+                    frontier, (0.0, next(counter), 0, seed, None)
+                )
 
         with self.tracer.span("gather.crawl") as span:
             while frontier and len(result.pages) < self.max_pages:
-                _, _, depth, url = heapq.heappop(frontier)
+                _, _, depth, url, via = heapq.heappop(frontier)
                 if not self.web.has(url):
                     result.skipped += 1
                     continue
                 page = self.web.fetch(url)
                 result.pages.append(page)
                 result.fetch_order.append(url)
+                self.event_log.emit(
+                    "page_crawled",
+                    lineage_id=(
+                        page.document.doc_id if page.document else None
+                    ),
+                    url=url,
+                    depth=depth,
+                    via=via,
+                    doc_id=(
+                        page.document.doc_id if page.document else None
+                    ),
+                )
                 if depth >= self.max_depth:
                     continue
                 for link in page.links:
@@ -103,7 +120,8 @@ class FocusedCrawler:
                     if self.web.has(link):
                         priority = -self.scorer(self.web.fetch(link))
                     heapq.heappush(
-                        frontier, (priority, next(counter), depth + 1, link)
+                        frontier,
+                        (priority, next(counter), depth + 1, link, url),
                     )
             span.add_items(len(result.pages))
             self.tracer.count("crawl.pages_fetched", len(result.pages))

@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.index import InvertedIndex, normalize_term
 from repro.search.scoring import Bm25, RankingFunction
@@ -75,11 +76,13 @@ class SearchEngine:
         ranking: RankingFunction | None = None,
         phrase_boost: float = 2.0,
         tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         self.index = index or InvertedIndex()
         self.ranking = ranking or Bm25()
         self.phrase_boost = phrase_boost
         self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
 
     def add_document(self, doc_key: str, text: str, title: str = "") -> None:
         self.index.add_document(doc_key, text, title)
@@ -91,6 +94,9 @@ class SearchEngine:
             results = self._search(query, top_k)
         self.tracer.count("engine.searches")
         self.tracer.observe("engine.results_per_search", len(results))
+        self.event_log.emit(
+            "search_executed", query=query, n_results=len(results)
+        )
         return results
 
     def _search(self, query: str, top_k: int) -> list[SearchResult]:

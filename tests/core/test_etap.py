@@ -171,3 +171,21 @@ class TestSinceDayFreshnessWindow:
         n_unrestricted = sum(len(e) for e in unrestricted.values())
         n_restricted = sum(len(e) for e in restricted.values())
         assert n_restricted < n_unrestricted
+
+
+class TestProvenanceKeys:
+    """Satellite pin: extracted events join back to the store by URL."""
+
+    def test_extracted_events_carry_store_urls(self, trained_etap):
+        events = trained_etap.extract_trigger_events()
+        checked = 0
+        for driver_events in events.values():
+            for event in driver_events:
+                assert event.url == trained_etap.store.get(
+                    event.doc_id
+                ).url
+                checked += 1
+        assert checked > 0
+
+    def test_url_of_unknown_doc_is_empty(self, trained_etap):
+        assert trained_etap.url_of("no-such-doc") == ""

@@ -168,3 +168,37 @@ class TestCompanyRanker:
         scores = CompanyRanker().score_companies({"ma": ranked})
         acme = next(s for s in scores if s.company == "acme")
         assert acme.n_trigger_events == 2
+
+
+class TestProvenanceJoinKeys:
+    """Satellite pin: events carry stable doc_id + URL join keys."""
+
+    def test_doc_id_is_the_snippet_document(self):
+        snippet_item = item("Acme Inc acquired Globex Corp.")
+        events = make_trigger_events("ma", [snippet_item], [0.9])
+        assert events[0].doc_id == snippet_item.snippet.doc_id
+        assert events[0].snippet_id.startswith(events[0].doc_id + "#")
+
+    def test_url_of_resolver_populates_url(self):
+        snippet_item = item("Acme Inc acquired Globex Corp.")
+        doc_id = snippet_item.snippet.doc_id
+        events = make_trigger_events(
+            "ma",
+            [snippet_item],
+            [0.9],
+            url_of=lambda d: f"http://corpus/{d}.html",
+        )
+        assert events[0].url == f"http://corpus/{doc_id}.html"
+
+    def test_url_empty_without_resolver(self):
+        assert event("Acme Inc acquired Globex Corp.").url == ""
+
+    def test_rank_and_rescore_preserve_join_keys(self):
+        events = rank_events(make_trigger_events(
+            "ma",
+            [item("Acme Inc acquired Globex Corp.")],
+            [0.9],
+            url_of=lambda d: f"http://corpus/{d}.html",
+        ))
+        assert events[0].url.startswith("http://corpus/")
+        assert events[0].doc_id  # survives dataclasses.replace

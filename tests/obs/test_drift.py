@@ -1,0 +1,135 @@
+"""Drift-monitor tests: baselines, breaches, and the small-batch guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.drift import (
+    DriftBaseline,
+    DriftMonitor,
+    DriftThresholds,
+    score_histogram,
+    total_variation,
+)
+
+
+class TestHistogram:
+    def test_normalized_over_unit_interval(self):
+        hist = score_histogram([0.05, 0.05, 0.95, 0.55], bins=10)
+        assert hist[0] == pytest.approx(0.5)
+        assert hist[5] == pytest.approx(0.25)
+        assert hist[9] == pytest.approx(0.25)
+        assert sum(hist) == pytest.approx(1.0)
+
+    def test_out_of_range_scores_clamp(self):
+        hist = score_histogram([-3.0, 1.0, 2.0], bins=4)
+        assert hist[0] == pytest.approx(1 / 3)
+        assert hist[3] == pytest.approx(2 / 3)
+
+    def test_empty_is_all_zero(self):
+        assert score_histogram([], bins=3) == (0.0, 0.0, 0.0)
+
+    def test_bins_must_be_positive(self):
+        with pytest.raises(ValueError):
+            score_histogram([0.5], bins=0)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation((0.5, 0.5), (0.5, 0.5)) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation((1.0, 0.0), (0.0, 1.0)) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation((1.0,), (0.5, 0.5))
+
+
+class TestBaseline:
+    def test_from_training_summarizes_scores(self):
+        baseline = DriftBaseline.from_training(
+            "mergers",
+            scores=[0.1, 0.2, 0.8, 0.9],
+            vocabulary=["merger", "acquire"],
+            threshold=0.5,
+        )
+        assert baseline.positive_rate == 0.5
+        assert baseline.vocabulary == frozenset({"merger", "acquire"})
+        assert sum(baseline.histogram) == pytest.approx(1.0)
+
+    def test_empty_scores_give_zero_rate(self):
+        baseline = DriftBaseline.from_training("mergers", scores=[])
+        assert baseline.positive_rate == 0.0
+
+
+class TestMonitor:
+    def _monitor(self, train_scores, **kwargs) -> DriftMonitor:
+        baseline = DriftBaseline.from_training(
+            "mergers",
+            scores=train_scores,
+            vocabulary=["merger", "acquire", "deal"],
+            threshold=0.5,
+        )
+        return DriftMonitor(baseline, **kwargs)
+
+    def test_identical_distribution_is_quiet(self):
+        train = [0.1] * 40 + [0.9] * 10
+        monitor = self._monitor(train)
+        assert monitor.check_scores(list(train)) == []
+
+    def test_class_balance_breach(self):
+        monitor = self._monitor([0.1] * 45 + [0.9] * 5)
+        reports = monitor.check_scores([0.9] * 50)
+        monitors = {r.monitor for r in reports}
+        assert "class_balance" in monitors
+        balance = next(
+            r for r in reports if r.monitor == "class_balance"
+        )
+        assert balance.value > balance.threshold
+        assert balance.driver_id == "mergers"
+        assert "live" in balance.detail
+
+    def test_score_distribution_breach(self):
+        # Same positive rate, shifted mass within each side of the
+        # threshold: only the histogram monitor should fire.
+        monitor = self._monitor(
+            [0.05] * 50,
+            thresholds=DriftThresholds(
+                class_balance_shift=0.25, score_divergence=0.35
+            ),
+        )
+        reports = monitor.check_scores([0.45] * 50)
+        assert [r.monitor for r in reports] == ["score_distribution"]
+
+    def test_small_batch_is_skipped(self):
+        monitor = self._monitor([0.1] * 50, min_batch=20)
+        assert monitor.check_scores([0.99] * 19) == []
+        assert monitor.check_scores([0.99] * 20) != []
+
+    def test_oov_breach(self):
+        monitor = self._monitor([0.1] * 50)
+        known = [["merger", "acquire"]] * 10
+        novel = [["blockchain", "synergy"]] * 10
+        assert monitor.check_tokens(known) == []
+        (report,) = monitor.check_tokens(novel)
+        assert report.monitor == "vocabulary_oov"
+        assert report.value == 1.0
+
+    def test_oov_needs_vocabulary(self):
+        baseline = DriftBaseline.from_training("mergers", scores=[0.1] * 50)
+        monitor = DriftMonitor(baseline)
+        assert monitor.check_tokens([["anything"]] * 50) == []
+
+    def test_oov_small_token_count_skipped(self):
+        monitor = self._monitor([0.1] * 50, min_batch=20)
+        assert monitor.check_tokens([["blockchain"]] * 19) == []
+
+    def test_check_combines_monitors(self):
+        monitor = self._monitor([0.1] * 50)
+        reports = monitor.check(
+            [0.99] * 50, [["blockchain", "synergy"]] * 20
+        )
+        monitors = {r.monitor for r in reports}
+        assert "class_balance" in monitors
+        assert "vocabulary_oov" in monitors

@@ -64,3 +64,22 @@ def test_all_benchmark_scripts_importable():
     assert scripts, "no benchmark scripts found"
     for path in scripts:
         _load_bench_module(path.stem)
+
+
+@pytest.mark.bench_smoke
+def test_obs_overhead_bench_at_toy_scale(tmp_path):
+    """The recorder bench runs, emits its JSON, and the off path stays
+    a no-op (the acceptance check for 'no measurable overhead')."""
+    module = _load_bench_module("bench_obs_overhead")
+    out = tmp_path / "BENCH_obs.json"
+    payload = module.measure(n_docs=200, seed=7, rounds=1, out=out)
+    assert out.exists()
+    import json
+
+    assert json.loads(out.read_text()) == payload
+    assert payload["event_counts"]["page_crawled"] > 0
+    assert payload["event_counts"]["model_trained"] == 3
+    assert payload["events_emitted"] > 0
+    # Recorder-off is the default null-object path: a single no-op
+    # call, far below a microsecond.
+    assert payload["null_emit_seconds_per_call"] < 5e-6

@@ -255,3 +255,115 @@ class TestIndexCache:
                 "report", "--workspace", str(workspace),
                 "--industry", "buggy-whips",
             ])
+
+
+class TestFlightRecorder:
+    """--record, events, explain, and metrics commands."""
+
+    @pytest.fixture(scope="class")
+    def recording(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("rec") / "events.jsonl"
+        code = main([
+            "demo", "--docs", "300", "--seed", "7",
+            "--cycles", "2", "--new-docs", "25",
+            "--alert-threshold", "0.7",
+            "--record", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_recorded_log_validates(self, recording):
+        from repro.obs.events import validate_jsonl
+
+        lines = recording.read_text(encoding="utf-8").splitlines()
+        assert len(lines) > 100
+        assert validate_jsonl(lines) == []
+
+    def test_recorded_log_covers_the_pipeline(self, recording):
+        from collections import Counter
+
+        from repro.obs.events import read_events
+
+        counts = Counter(e.event_type for e in read_events(recording))
+        for event_type in (
+            "run_started",
+            "page_crawled",
+            "doc_indexed",
+            "search_executed",
+            "model_trained",
+            "snippet_scored",
+            "trigger_classified",
+            "company_ranked",
+            "alert_emitted",
+        ):
+            assert counts[event_type] > 0, event_type
+
+    def test_events_validate_command(self, recording, capsys):
+        code = main(["events", "--validate", str(recording)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_events_validate_rejects_bad_log(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event_type": "nope"}\n', encoding="utf-8")
+        code = main(["events", "--validate", str(bad)])
+        assert code == 1
+        assert "bad.jsonl:1" in capsys.readouterr().err
+
+    def test_events_listing_and_filter(self, recording, capsys):
+        code = main([
+            "events", "--file", str(recording),
+            "--type", "alert_emitted", "--tail", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(out) <= 5
+        assert all("alert_emitted" in line for line in out)
+
+    def test_events_without_source_fails(self):
+        with pytest.raises(SystemExit):
+            main(["events"])
+
+    def test_explain_renders_full_chain(self, recording, capsys):
+        from repro.obs.events import read_events
+
+        alerts = [
+            e for e in read_events(recording)
+            if e.event_type == "alert_emitted"
+        ]
+        assert alerts, "demo run with cycles must emit alerts"
+        alert_id = alerts[0].payload["alert_id"]
+        code = main([
+            "explain", alert_id, "--events", str(recording),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"alert {alert_id}" in out
+        assert "driver" in out
+        assert "snippet" in out
+        assert "url http" in out
+
+    def test_explain_unknown_alert_fails(self, recording):
+        with pytest.raises(SystemExit):
+            main(["explain", "bogus", "--events", str(recording)])
+
+    def test_explain_missing_file_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "explain", "x",
+                "--events", str(tmp_path / "absent.jsonl"),
+            ])
+
+    def test_metrics_emits_prometheus_text(self, capsys):
+        from repro.obs.export import parse_prometheus_text
+
+        code = main(["metrics", "--docs", "300", "--seed", "7"])
+        assert code == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        names = {name for name, _ in samples}
+        assert "repro_crawl_pages_fetched" in names
+        assert "repro_dedup_ratio" in names
+        assert any(
+            name == "repro_positive_rate" and labels
+            for name, labels in samples
+        )
