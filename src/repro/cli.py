@@ -55,6 +55,7 @@ from repro.obs import (
     read_events,
     validate_jsonl,
 )
+from repro.robustness import FaultyWeb, get_profile, profile_names
 from repro.search.engine import SearchEngine
 
 STORE_FILE = "store.jsonl"
@@ -112,6 +113,27 @@ def _load_etap(
     )
 
 
+def _maybe_faulty(web, args: argparse.Namespace):
+    """Wrap the web in seeded fault injection when requested."""
+    name = getattr(args, "fault_profile", "none")
+    if name == "none":
+        return web
+    return FaultyWeb(web, get_profile(name), seed=args.seed)
+
+
+def _degradation_note(report) -> str:
+    """One-line fetch-degradation summary for a gather report."""
+    if not (report.pages_retried or report.pages_failed
+            or report.pages_degraded):
+        return ""
+    return (
+        f" [degraded: {report.pages_retried} retries, "
+        f"{report.pages_failed} failed, "
+        f"{report.pages_degraded} degraded pages, "
+        f"{report.dead_letters} dead-lettered]"
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> EtapConfig:
     return EtapConfig(
         top_k_per_query=getattr(args, "top_k", 200),
@@ -123,7 +145,9 @@ def _config_from_args(args: argparse.Namespace) -> EtapConfig:
 
 def cmd_gather(args: argparse.Namespace) -> int:
     workspace = _workspace(args.workspace)
-    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
     etap = Etap.from_web(
         web, tracer=_tracer(args), event_log=_event_log(args)
     )
@@ -132,7 +156,8 @@ def cmd_gather(args: argparse.Namespace) -> int:
     etap.engine.index.save_json(workspace / INDEX_FILE)
     print(f"gathered {report.documents_stored} documents "
           f"({report.pages_fetched} pages) -> "
-          f"{workspace / STORE_FILE}")
+          f"{workspace / STORE_FILE}"
+          f"{_degradation_note(report)}")
     return 0
 
 
@@ -226,14 +251,19 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
     etap = Etap.from_web(
         web,
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
         tracer=_tracer(args),
         event_log=_event_log(args),
     )
-    etap.gather()
+    report = etap.gather()
+    note = _degradation_note(report)
+    if note:
+        print(f"gathered {report.documents_stored} documents{note}")
     etap.train()
     events = etap.extract_trigger_events()
     print("trigger events per driver:")
@@ -287,12 +317,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.evaluation.datasets import DatasetSpec
     from repro.evaluation.report import write_report
 
     spec = (
         DatasetSpec() if args.scale == "full" else DatasetSpec.small()
     )
+    fault_profile = getattr(args, "fault_profile", "none")
+    if fault_profile != "none":
+        spec = dataclasses.replace(spec, fault_profile=fault_profile)
     path = write_report(args.out, spec=spec)
     print(f"wrote reproduction report -> {path}")
     return 0
@@ -351,7 +386,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if not tracer.enabled:
         tracer = Tracer()
     event_log = _event_log(args)
-    web = build_web(args.docs, CorpusConfig(seed=args.seed))
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
     etap = Etap.from_web(
         web,
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
@@ -409,9 +446,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="turn on the flight recorder and write every pipeline "
              "event to FILE as JSONL",
     )
+    faulty = argparse.ArgumentParser(add_help=False)
+    faulty.add_argument(
+        "--fault-profile", dest="fault_profile", default="none",
+        choices=profile_names(),
+        help="inject seeded fetch faults into the synthetic web "
+             "(deterministic per seed; see docs/ROBUSTNESS.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gather = sub.add_parser("gather", parents=[profiled],
+    gather = sub.add_parser("gather", parents=[profiled, faulty],
                             help="crawl a synthetic web into "
                                  "a workspace")
     gather.add_argument("--workspace", required=True)
@@ -447,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=cmd_report)
 
-    demo = sub.add_parser("demo", parents=[profiled],
+    demo = sub.add_parser("demo", parents=[profiled, faulty],
                           help="end-to-end demo, no workspace")
     demo.add_argument("--docs", type=int, default=800)
     demo.add_argument("--seed", type=int, default=7)
@@ -472,7 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=cmd_stats)
 
     reproduce = sub.add_parser(
-        "reproduce", parents=[profiled],
+        "reproduce", parents=[profiled, faulty],
         help="regenerate every paper table/figure into a Markdown "
              "report",
     )
@@ -520,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     events.set_defaults(func=cmd_events)
 
     metrics = sub.add_parser(
-        "metrics", parents=[profiled],
+        "metrics", parents=[profiled, faulty],
         help="run the demo pipeline and dump its metrics in "
              "Prometheus text format",
     )

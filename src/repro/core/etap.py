@@ -134,14 +134,23 @@ class Etap:
         config: EtapConfig | None = None,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        fetcher=None,
     ) -> "Etap":
-        """Build an ETAP whose gather step crawls the given web."""
+        """Build an ETAP whose gather step crawls the given web.
+
+        ``web`` may be a :class:`~repro.robustness.faults.FaultyWeb`;
+        the gatherer then fetches through a
+        :class:`~repro.robustness.fetcher.ResilientFetcher` (pass
+        ``fetcher`` to override its retry/breaker policy) and the
+        pipeline degrades gracefully instead of crashing.
+        """
         config = config or EtapConfig()
         gatherer = DataGatherer(
             web,
             max_pages=config.max_crawl_pages,
             tracer=tracer,
             event_log=event_log,
+            fetcher=fetcher,
         )
         etap = cls(
             store=gatherer.store,

@@ -51,6 +51,17 @@ class SyntheticWeb:
         """Fetch a page by URL; raises ``KeyError`` for a 404."""
         return self._pages[url]
 
+    def peek(self, url: str) -> Page:
+        """Look at a page without "fetching" it.
+
+        Identical to :meth:`fetch` here; fault-injecting wrappers
+        (:class:`~repro.robustness.faults.FaultyWeb`) override ``fetch``
+        with failures but keep ``peek`` transparent, so simulation
+        conveniences like the crawler's link-prioritization peek do not
+        consume fault attempts.
+        """
+        return self._pages[url]
+
     def add_page(self, page: Page) -> None:
         """Publish (or replace) a page, updating the link graph."""
         previous = self._pages.get(page.url)

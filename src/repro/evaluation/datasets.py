@@ -59,6 +59,9 @@ class DatasetSpec:
     n_test_negative: int = 2265
     seed: int = 7
     config: EtapConfig = field(default_factory=EtapConfig)
+    #: Named fault profile (see :data:`repro.robustness.PROFILES`)
+    #: injected into the gathering web; "none" keeps it failure-free.
+    fault_profile: str = "none"
 
     @classmethod
     def small(cls) -> "DatasetSpec":
@@ -137,6 +140,12 @@ def build_evaluation_dataset(
     """Construct the full section 5.1 experimental setup."""
     spec = spec or DatasetSpec()
     web = build_web(spec.n_web_docs, CorpusConfig(seed=spec.seed))
+    if spec.fault_profile != "none":
+        from repro.robustness import FaultyWeb, get_profile
+
+        web = FaultyWeb(
+            web, get_profile(spec.fault_profile), seed=spec.seed
+        )
     etap = Etap.from_web(web, config=spec.config)
     etap.gather()
 

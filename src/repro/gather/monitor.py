@@ -15,6 +15,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro.corpus.web import SyntheticWeb
+from repro.robustness.faults import FetchError
 from repro.text.sentences import split_sentence_texts
 
 
@@ -45,6 +46,9 @@ class ObservationReport:
     """Outcome of one monitoring sweep."""
 
     observed: int = 0
+    #: URLs that failed transiently this sweep; their state is kept
+    #: untouched, so the next sweep diffs against the last good fetch.
+    unreachable: int = 0
     changes: list[PageChange] = field(default_factory=list)
 
     @property
@@ -93,9 +97,21 @@ class PageMonitor:
                     )
                     del self._known[url]
                 continue
-            fingerprints = _sentence_fingerprints(
-                self.web.fetch(url).text
-            )
+            try:
+                text = self.web.fetch(url).text
+            except FetchError as exc:
+                if exc.transient:
+                    # Leave known state alone; retry next sweep.
+                    report.unreachable += 1
+                    continue
+                # Permanently dead: same treatment as a 404 removal.
+                if url in self._known:
+                    report.changes.append(
+                        PageChange(url=url, kind="removed")
+                    )
+                    del self._known[url]
+                continue
+            fingerprints = _sentence_fingerprints(text)
             previous = self._known.get(url)
             if previous is None:
                 report.changes.append(

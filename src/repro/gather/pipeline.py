@@ -17,6 +17,8 @@ from repro.gather.dedup import NearDuplicateIndex
 from repro.gather.store import DocumentStore, StoredDocument
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.robustness.faults import FaultyWeb
+from repro.robustness.fetcher import ResilientFetcher
 from repro.search.crawler import FocusedCrawler, PageScorer, business_relevance
 from repro.search.engine import SearchEngine
 
@@ -43,6 +45,15 @@ class GatherReport:
     crawl_seconds: float = 0.0
     index_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: Fetch-path degradation (non-zero only under fault injection):
+    #: retry attempts spent, URLs permanently failed (crawled around),
+    #: pages served degraded, degraded docs excluded from the index,
+    #: and the resilient fetcher's dead-letter count.
+    pages_retried: int = 0
+    pages_failed: int = 0
+    pages_degraded: int = 0
+    degraded_skipped: int = 0
+    dead_letters: int = 0
 
 
 class DataGatherer:
@@ -57,6 +68,8 @@ class DataGatherer:
         near_dedup_threshold: float = 0.7,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        fetcher: ResilientFetcher | None = None,
+        index_degraded: bool = False,
     ) -> None:
         self.web = web
         self.tracer = tracer or NULL_TRACER
@@ -65,6 +78,20 @@ class DataGatherer:
         self.engine = SearchEngine(
             tracer=self.tracer, event_log=self.event_log
         )
+        # A faulty web without an explicit fetcher gets the resilient
+        # path by default: transparent retries, breakers, dead letters.
+        if fetcher is None and isinstance(web, FaultyWeb):
+            fetcher = ResilientFetcher(
+                web,
+                seed=web.seed,
+                tracer=self.tracer,
+                event_log=self.event_log,
+            )
+        self.fetcher = fetcher
+        #: Degraded (truncated/garbled) pages are counted but, by
+        #: default, kept out of the store and index: corrupted text
+        #: must never mint trigger events a healthy fetch would not.
+        self.index_degraded = index_degraded
         self._crawler = FocusedCrawler(
             web,
             scorer=scorer,
@@ -74,6 +101,7 @@ class DataGatherer:
             max_depth=10,
             tracer=self.tracer,
             event_log=self.event_log,
+            fetcher=fetcher,
         )
         self._near_index = (
             NearDuplicateIndex(
@@ -100,10 +128,17 @@ class DataGatherer:
             stored = 0
             skipped = 0
             near_skipped = 0
+            degraded_skipped = 0
             with self.tracer.span("gather.store_index") as index_span:
                 for page in crawl.pages:
                     if page.document is None:
                         continue  # hub/index pages are navigation, not content
+                    if (
+                        not self.index_degraded
+                        and page.url in crawl.degraded_urls
+                    ):
+                        degraded_skipped += 1
+                        continue
                     if (
                         self._near_index is not None
                         and page.document.doc_id not in self.store
@@ -160,6 +195,9 @@ class DataGatherer:
             self.tracer.count(
                 "gather.near_duplicates_skipped", near_skipped
             )
+            self.tracer.count(
+                "gather.degraded_skipped", degraded_skipped
+            )
         crawl_seconds = next(
             (
                 child.duration
@@ -176,4 +214,13 @@ class DataGatherer:
             crawl_seconds=crawl_seconds,
             index_seconds=index_span.duration,
             total_seconds=gather_span.duration,
+            pages_retried=crawl.retried,
+            pages_failed=crawl.dead,
+            pages_degraded=crawl.degraded,
+            degraded_skipped=degraded_skipped,
+            dead_letters=(
+                len(self.fetcher.dead_letters)
+                if self.fetcher is not None
+                else 0
+            ),
         )

@@ -68,6 +68,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     ),
     "company_ranked": frozenset({"company", "mrr", "position"}),
     "drift_warning": frozenset({"monitor", "value", "threshold"}),
+    "fetch_retry": frozenset({"url", "attempt", "wait_ticks", "reason"}),
+    "breaker_open": frozenset({"host", "failures"}),
+    "breaker_close": frozenset({"host"}),
+    "fetch_dead_letter": frozenset({"url", "reason", "attempts"}),
 }
 
 _ENVELOPE_FIELDS = frozenset(

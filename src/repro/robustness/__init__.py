@@ -1,0 +1,55 @@
+"""Fault injection and resilient fetching for the gather substrate.
+
+Two halves:
+
+* :mod:`repro.robustness.faults` — :class:`FaultyWeb` wraps a
+  :class:`~repro.corpus.web.SyntheticWeb` and injects deterministic,
+  seed-driven faults per URL (transient errors, dead links, timeouts,
+  truncated/garbled text, flapping hosts) configured by a composable
+  :class:`FaultProfile`;
+* :mod:`repro.robustness.fetcher` — :class:`ResilientFetcher` retries
+  transient failures with exponential backoff + deterministic jitter,
+  trips a per-host :class:`CircuitBreaker`, and dead-letters
+  permanently failed URLs so crawls complete around failures.
+
+See ``docs/ROBUSTNESS.md`` for the fault model, the breaker state
+machine and the degradation invariant the chaos suite enforces.
+"""
+
+from repro.robustness.faults import (
+    PROFILES,
+    DeadLinkError,
+    FaultProfile,
+    FaultyWeb,
+    FetchError,
+    HostDownError,
+    SlowFetchError,
+    TransientFetchError,
+    get_profile,
+    profile_names,
+)
+from repro.robustness.fetcher import (
+    CircuitBreaker,
+    DeadLetter,
+    FetchOutcome,
+    ResilientFetcher,
+    RetryPolicy,
+)
+
+__all__ = [
+    "PROFILES",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLinkError",
+    "FaultProfile",
+    "FaultyWeb",
+    "FetchError",
+    "FetchOutcome",
+    "HostDownError",
+    "ResilientFetcher",
+    "RetryPolicy",
+    "SlowFetchError",
+    "TransientFetchError",
+    "get_profile",
+    "profile_names",
+]

@@ -17,6 +17,8 @@ from typing import Callable, Iterable
 from repro.corpus.web import FRONT_PAGE_URL, Page, SyntheticWeb
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.robustness.faults import FetchError
+from repro.robustness.fetcher import ResilientFetcher
 
 #: Scores a fetched page; higher means expand its links sooner.
 PageScorer = Callable[[Page], float]
@@ -40,11 +42,25 @@ def business_relevance(page: Page) -> float:
 
 @dataclass
 class CrawlResult:
-    """Outcome of one crawl."""
+    """Outcome of one crawl, including how it degraded under faults."""
 
     pages: list[Page] = field(default_factory=list)
     fetch_order: list[str] = field(default_factory=list)
+    #: Frontier URLs that were never on the web (graph-only links).
     skipped: int = 0
+    #: Total retry attempts spent recovering transient failures.
+    retried: int = 0
+    #: URLs that permanently failed (dead links, retry exhaustion,
+    #: open circuit breakers) and were crawled *around*.
+    dead: int = 0
+    #: Pages served in degraded (truncated/garbled) form.
+    degraded: int = 0
+    degraded_urls: set[str] = field(default_factory=set)
+    dead_urls: set[str] = field(default_factory=set)
+
+    @property
+    def fetched(self) -> int:
+        return len(self.pages)
 
     @property
     def documents(self):
@@ -62,6 +78,7 @@ class FocusedCrawler:
         max_depth: int = 6,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        fetcher: ResilientFetcher | None = None,
     ) -> None:
         if max_pages <= 0:
             raise ValueError("max_pages must be positive")
@@ -71,6 +88,9 @@ class FocusedCrawler:
         self.max_depth = max_depth
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        #: When set, all fetches go through the resilient path
+        #: (retries, circuit breaking, dead-lettering).
+        self.fetcher = fetcher
 
     def crawl(
         self, seeds: Iterable[str] = (FRONT_PAGE_URL,)
@@ -93,7 +113,9 @@ class FocusedCrawler:
                 if not self.web.has(url):
                     result.skipped += 1
                     continue
-                page = self.web.fetch(url)
+                page = self._fetch(url, result)
+                if page is None:
+                    continue  # failed permanently; crawl around it
                 result.pages.append(page)
                 result.fetch_order.append(url)
                 self.event_log.emit(
@@ -118,7 +140,7 @@ class FocusedCrawler:
                     # rank by anchor text, we rank by the page itself.
                     priority = 0.0
                     if self.web.has(link):
-                        priority = -self.scorer(self.web.fetch(link))
+                        priority = -self.scorer(self.web.peek(link))
                     heapq.heappush(
                         frontier,
                         (priority, next(counter), depth + 1, link, url),
@@ -126,4 +148,39 @@ class FocusedCrawler:
             span.add_items(len(result.pages))
             self.tracer.count("crawl.pages_fetched", len(result.pages))
             self.tracer.count("crawl.dead_links_skipped", result.skipped)
+            self.tracer.count("crawl.fetches_retried", result.retried)
+            self.tracer.count("crawl.pages_failed", result.dead)
+            self.tracer.count("crawl.pages_degraded", result.degraded)
         return result
+
+    def _fetch(self, url: str, result: CrawlResult) -> Page | None:
+        """One fetch on the resilient (or plain) path.
+
+        Returns ``None`` for a permanent failure — the crawl records it
+        and moves on instead of crashing, so a web full of dead links
+        and flapping hosts still yields every reachable page.
+        """
+        if self.fetcher is not None:
+            outcome = self.fetcher.fetch(url)
+            result.retried += outcome.retries
+            if outcome.page is None:
+                result.dead += 1
+                result.dead_urls.add(url)
+                return None
+            if outcome.status == "degraded":
+                result.degraded += 1
+                result.degraded_urls.add(url)
+            return outcome.page
+        try:
+            page = self.web.fetch(url)
+        except FetchError:
+            # A faulty web without a resilient fetcher: no retries, but
+            # the crawl still completes around the failure.
+            result.dead += 1
+            result.dead_urls.add(url)
+            return None
+        is_degraded = getattr(self.web, "is_degraded", None)
+        if is_degraded is not None and is_degraded(url):
+            result.degraded += 1
+            result.degraded_urls.add(url)
+        return page

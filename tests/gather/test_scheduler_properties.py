@@ -1,0 +1,135 @@
+"""Property-based invariants for the adaptive revisit scheduler.
+
+The unit tests in ``test_scheduler.py`` pin concrete behaviours; these
+fuzz arbitrary change/unchanged observation sequences and assert the
+invariants that must hold regardless of order:
+
+- every tracked interval stays within ``[min_interval, max_interval]``
+- the heap and the entries map stay consistent: every live entry's
+  ``next_due`` is represented in the queue, and ``due()`` never yields
+  a forgotten or duplicate URL
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gather.scheduler import RevisitScheduler
+
+
+@st.composite
+def schedulers(draw):
+    min_i = draw(st.floats(0.5, 4.0, allow_nan=False))
+    init = min_i * draw(st.floats(1.0, 4.0, allow_nan=False))
+    max_i = init * draw(st.floats(1.0, 8.0, allow_nan=False))
+    return RevisitScheduler(
+        min_interval=min_i,
+        max_interval=max_i,
+        initial_interval=init,
+        grow_factor=draw(st.floats(1.1, 3.0, allow_nan=False)),
+        shrink_factor=draw(st.floats(0.1, 0.9, allow_nan=False)),
+    )
+
+
+# An action script: (url index, changed?) observation pairs plus
+# interleaved forgets, applied to a small URL universe.
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("report"), st.integers(0, 7), st.booleans()),
+        st.tuples(st.just("forget"), st.integers(0, 7), st.none()),
+        st.tuples(st.just("track"), st.integers(0, 7), st.none()),
+        st.tuples(st.just("due"), st.integers(1, 5), st.none()),
+    ),
+    max_size=60,
+)
+
+
+def url_of(i: int) -> str:
+    return f"http://site-{i}.example.com/page.html"
+
+
+def apply_script(sched: RevisitScheduler, script) -> set[str]:
+    """Apply the action script; returns the in-flight URL set.
+
+    A URL popped by ``due()`` is handed to the caller and is out of
+    the queue until it is reported back — that is the protocol, not
+    an inconsistency.
+    """
+    in_flight: set[str] = set()
+    for kind, arg, flag in script:
+        if kind == "track":
+            sched.track(url_of(arg))
+        elif kind == "forget":
+            sched.forget(url_of(arg))
+            in_flight.discard(url_of(arg))
+        elif kind == "report":
+            url = url_of(arg)
+            sched.track(url)
+            sched.report(url, changed=flag)
+            in_flight.discard(url)
+        elif kind == "due":
+            in_flight.update(sched.due(budget=arg))
+    return in_flight
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedulers(), actions)
+def test_intervals_always_within_bounds(sched, script):
+    apply_script(sched, script)
+    for i in range(8):
+        url = url_of(i)
+        if url in sched:
+            interval = sched.interval_of(url)
+            assert sched.min_interval <= interval <= sched.max_interval
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedulers(), actions)
+def test_heap_and_entries_stay_consistent(sched, script):
+    in_flight = apply_script(sched, script)
+    queued = {url for _, _, url in sched._heap}
+    # Every live entry is either queued or in flight (popped by due()
+    # and awaiting its report); lazy removal leaves stale extras in
+    # the queue but never drops a live URL.
+    for i in range(8):
+        url = url_of(i)
+        if url in sched:
+            assert url in queued or url in in_flight, (
+                "tracked URL neither queued nor in flight"
+            )
+    assert sched.queue_depth >= len(sched) - len(in_flight)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedulers(), actions, st.integers(1, 5))
+def test_due_never_yields_forgotten_or_duplicate_urls(
+    sched, script, budget
+):
+    apply_script(sched, script)
+    for _ in range(10):
+        batch = sched.due(budget=budget)
+        assert len(batch) <= budget
+        assert len(set(batch)) == len(batch), "duplicate in one batch"
+        for url in batch:
+            assert url in sched, "due() yielded a forgotten URL"
+            # Popped entries are genuinely due.
+            entry_due = sched.now - sched.interval_of(url)
+            assert entry_due <= sched.now
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedulers(), st.lists(st.booleans(), min_size=1, max_size=30))
+def test_change_shrinks_and_stability_grows_monotonically(
+    sched, observations
+):
+    url = url_of(0)
+    sched.track(url)
+    previous = sched.interval_of(url)
+    for changed in observations:
+        interval = sched.report(url, changed=changed)
+        if changed:
+            assert interval <= previous + 1e-12
+        else:
+            assert interval >= previous - 1e-12
+        previous = interval

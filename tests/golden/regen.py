@@ -1,0 +1,87 @@
+"""Regenerate the golden pipeline snapshot.
+
+Run from the repo root after any *intentional* behaviour change:
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+then review the diff of ``tests/golden/pipeline_small.json`` in the PR —
+the diff IS the behaviour change.  ``test_golden_pipeline.py`` fails
+when the pipeline's output drifts from this file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.alerts import AlertService
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.evolve import WebEvolver
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+
+GOLDEN_PATH = Path(__file__).with_name("pipeline_small.json")
+
+#: Everything below is part of the snapshot's identity — change any of
+#: these and the golden file must be regenerated.
+N_DOCS = 220
+SEED = 29
+#: The evolver needs its own seed: with the corpus seed it would
+#: replay the same document stream and dedup would drop every "new"
+#: page, leaving the alert leg of the snapshot vacuous.
+EVOLVE_SEED = 71
+N_NEW_DOCS = 30
+CONFIG = EtapConfig(top_k_per_query=40, negative_sample_size=600)
+
+
+def snapshot() -> dict:
+    web = build_web(N_DOCS, CorpusConfig(seed=SEED))
+    etap = Etap.from_web(web, config=CONFIG)
+    etap.gather()
+    etap.train()
+
+    events = etap.extract_trigger_events()
+    per_driver_counts = {
+        driver_id: len(ranked)
+        for driver_id, ranked in sorted(events.items())
+    }
+    top5 = [
+        [score.company, round(score.mrr, 4), score.n_trigger_events]
+        for score in etap.company_report(events)[:5]
+    ]
+
+    service = AlertService(etap)
+    WebEvolver(web, CorpusConfig(seed=EVOLVE_SEED)).advance(N_NEW_DOCS)
+    report = service.poll()
+    alert_ids = sorted(alert.alert_id for alert in report.alerts)
+
+    return {
+        "params": {
+            "n_docs": N_DOCS,
+            "seed": SEED,
+            "evolve_seed": EVOLVE_SEED,
+            "n_new_docs": N_NEW_DOCS,
+            "top_k_per_query": CONFIG.top_k_per_query,
+            "negative_sample_size": CONFIG.negative_sample_size,
+        },
+        "per_driver_counts": per_driver_counts,
+        "top5": top5,
+        "alert_ids": alert_ids,
+    }
+
+
+def main() -> None:
+    data = snapshot()
+    GOLDEN_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
+    print(
+        f"  drivers: {data['per_driver_counts']}, "
+        f"alerts: {len(data['alert_ids'])}"
+    )
+
+
+if __name__ == "__main__":
+    main()

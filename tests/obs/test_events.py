@@ -70,6 +70,19 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "value": 0.4,
         "threshold": 0.25,
     },
+    "fetch_retry": {
+        "url": "http://x/a.html",
+        "attempt": 2,
+        "wait_ticks": 2.4,
+        "reason": "transient",
+    },
+    "breaker_open": {"host": "x.example.com", "failures": 5},
+    "breaker_close": {"host": "x.example.com"},
+    "fetch_dead_letter": {
+        "url": "http://x/a.html",
+        "reason": "exhausted:transient",
+        "attempts": 4,
+    },
 }
 
 

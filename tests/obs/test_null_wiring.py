@@ -1,0 +1,157 @@
+"""Regression: recorders passed to constructors are never null-swapped.
+
+A fresh ``EventLog()`` has zero events and a fresh ``Tracer()`` has no
+spans; if either were falsy, the common wiring idiom
+``self.event_log = event_log or NULL_EVENT_LOG`` would silently replace
+a caller's empty-but-real recorder with the null object and the first
+events of a run would vanish.  ``EventLog.__bool__``/``Tracer`` are
+truthy by contract — this suite pins both the contract and every
+constructor that relies on it.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.cli  # noqa: F401 -- force-import the full package tree
+from repro.core.alerts import AlertService
+from repro.core.classifier import TriggerEventClassifier
+from repro.core.etap import Etap, EtapConfig
+from repro.core.ranking import CompanyRanker
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.gather.dedup import NearDuplicateIndex
+from repro.gather.pipeline import DataGatherer
+from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.robustness.fetcher import ResilientFetcher
+from repro.search.crawler import FocusedCrawler
+from repro.search.engine import SearchEngine
+
+
+def test_fresh_recorders_are_truthy():
+    assert EventLog(), "an empty EventLog must be truthy"
+    assert Tracer(), "a fresh Tracer must be truthy"
+    assert len(EventLog()) == 0  # falsy-prone without __bool__
+
+
+WEB = build_web(30, CorpusConfig(seed=2))
+
+
+def recorder_keepers():
+    """(name, factory) for every constructor taking tracer/event_log."""
+    gatherer = DataGatherer(WEB)
+    etap = Etap.from_web(build_web(30, CorpusConfig(seed=2)))
+    yield "FocusedCrawler", lambda t, e: FocusedCrawler(
+        WEB, tracer=t, event_log=e
+    )
+    yield "DataGatherer", lambda t, e: DataGatherer(
+        WEB, tracer=t, event_log=e
+    )
+    yield "Etap", lambda t, e: Etap.from_web(
+        WEB, tracer=t, event_log=e
+    )
+    yield "SearchEngine", lambda t, e: SearchEngine(
+        tracer=t, event_log=e
+    )
+    yield "TriggerEventClassifier", lambda t, e: TriggerEventClassifier(
+        driver_id="revenue_growth", tracer=t, event_log=e
+    )
+    yield "CompanyRanker", lambda t, e: CompanyRanker(
+        tracer=t, event_log=e
+    )
+    yield "NearDuplicateIndex", lambda t, e: NearDuplicateIndex(
+        event_log=e
+    )
+    yield "TrainingDataGenerator", lambda t, e: _training_generator(
+        gatherer, t
+    )
+    yield "ResilientFetcher", lambda t, e: ResilientFetcher(
+        WEB, tracer=t, event_log=e
+    )
+    yield "AlertService", lambda t, e: _alert_service(etap, e)
+
+
+def _training_generator(gatherer, tracer):
+    from repro.core.snippets import SnippetGenerator
+    from repro.core.training import TrainingDataGenerator
+    from repro.text.annotator import Annotator
+
+    return TrainingDataGenerator(
+        store=gatherer.store,
+        engine=gatherer.engine,
+        annotator=Annotator(),
+        snippet_generator=SnippetGenerator(),
+        tracer=tracer,
+    )
+
+
+def _alert_service(etap, event_log):
+    # AlertService only checks that classifiers exist; a stub is enough
+    # for a wiring test and avoids training a real model here.
+    etap.classifiers.setdefault("stub", object())
+    return AlertService(etap, event_log=event_log)
+
+
+@pytest.mark.parametrize(
+    "name,factory", list(recorder_keepers()), ids=lambda v: v
+    if isinstance(v, str) else ""
+)
+def test_constructors_keep_fresh_recorders(name, factory):
+    tracer, log = Tracer(), EventLog()
+    obj = factory(tracer, log)
+    kept_tracer = getattr(obj, "tracer", None)
+    kept_log = getattr(obj, "event_log", None)
+    assert kept_tracer is not NULL_TRACER or kept_log is not NULL_EVENT_LOG, (
+        f"{name} null-swapped both recorders"
+    )
+    if kept_tracer is not None:
+        assert kept_tracer is tracer, (
+            f"{name} replaced a fresh Tracer with {kept_tracer!r}"
+        )
+    if kept_log is not None:
+        assert kept_log is log, (
+            f"{name} replaced a fresh EventLog with {kept_log!r}"
+        )
+
+
+def test_every_recorder_constructor_is_covered():
+    """Inspect-scan the package so new constructors join the audit.
+
+    Walks every class reachable from the imported ``repro`` modules and
+    collects those whose ``__init__`` takes a ``tracer`` or
+    ``event_log`` parameter; each must appear in the explicit audit
+    list above (or be a recorder/null-object itself).
+    """
+    import sys
+
+    audited = {name for name, _ in recorder_keepers()}
+    exempt = {
+        # The recorders themselves and their null twins.
+        "EventLog", "NullEventLog", "Tracer", "NullTracer",
+        # Thin report/export helpers that receive a recorder to *read*.
+        "MetricsExporter", "StageReport",
+        # Internal context managers handed an already-wired recorder.
+        "_SpanContext", "_TimedContext",
+    }
+    found = set()
+    for module_name, module in list(sys.modules.items()):
+        if not module_name.startswith("repro"):
+            continue
+        for _, cls in inspect.getmembers(module, inspect.isclass):
+            if cls.__module__ != module_name:
+                continue
+            try:
+                params = inspect.signature(cls.__init__).parameters
+            except (TypeError, ValueError):  # pragma: no cover
+                continue
+            if "tracer" in params or "event_log" in params:
+                found.add(cls.__name__)
+    unaudited = found - audited - exempt
+    assert not unaudited, (
+        f"constructors taking tracer/event_log missing from this "
+        f"audit: {sorted(unaudited)} — add them to recorder_keepers() "
+        "(or exempt with a reason)"
+    )

@@ -367,3 +367,64 @@ class TestFlightRecorder:
             name == "repro_positive_rate" and labels
             for name, labels in samples
         )
+
+
+class TestFaultProfile:
+    """End-to-end `--fault-profile`: gather, validate events, metrics."""
+
+    def test_gather_under_hostile_profile_completes_and_reports(
+        self, tmp_path, capsys
+    ):
+        ws = tmp_path / "chaos-ws"
+        log = tmp_path / "events.jsonl"
+        code = main([
+            "gather", "--workspace", str(ws), "--docs", "200",
+            "--seed", "7", "--fault-profile", "hostile",
+            "--record", str(log),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gathered" in out
+        assert "[degraded:" in out, (
+            "hostile gather printed no degradation note"
+        )
+        assert (ws / "store.jsonl").exists()
+        # Every recorded event — including the new fetch_retry /
+        # breaker_* / fetch_dead_letter kinds — passes schema checks.
+        code = main(["events", "--validate", str(log)])
+        assert code == 0
+        assert "events OK" in capsys.readouterr().out
+
+    def test_fault_events_appear_in_the_recording(self, tmp_path):
+        from repro.obs.events import read_events
+
+        ws = tmp_path / "chaos-ws"
+        log = tmp_path / "events.jsonl"
+        main([
+            "gather", "--workspace", str(ws), "--docs", "200",
+            "--seed", "7", "--fault-profile", "hostile",
+            "--record", str(log),
+        ])
+        kinds = {event.event_type for event in read_events(log)}
+        assert "fetch_retry" in kinds
+        assert "fetch_dead_letter" in kinds
+
+    def test_metrics_exports_fetch_counters(self, capsys):
+        from repro.obs.export import parse_prometheus_text
+
+        code = main([
+            "metrics", "--docs", "200", "--seed", "7",
+            "--fault-profile", "flaky",
+        ])
+        assert code == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        names = {name for name, _ in samples}
+        assert "repro_fetch_attempts" in names
+        assert "repro_fetch_retries" in names
+
+    def test_unknown_profile_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "gather", "--workspace", str(tmp_path / "ws"),
+                "--docs", "50", "--fault-profile", "nope",
+            ])

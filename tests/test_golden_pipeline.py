@@ -1,0 +1,45 @@
+"""Golden regression test: the pipeline's output is pinned to a file.
+
+Runs the fixed-seed scenario in ``tests/golden/regen.py`` — gather,
+train, extract, company report, then one web-evolution step and one
+alert poll — and compares the result to the committed snapshot.  Any
+behaviour change anywhere in the pipeline (tokenization, ranking tie
+breaks, dedup thresholds, crawl order...) shows up here as a diff.
+
+If the change is intentional, regenerate and commit the snapshot:
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and review the JSON diff as part of the PR.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.golden.regen import GOLDEN_PATH, snapshot
+
+
+def test_pipeline_output_matches_golden_snapshot():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = snapshot()
+    assert current["params"] == golden["params"], (
+        "scenario parameters changed — regenerate the golden file: "
+        "PYTHONPATH=src python tests/golden/regen.py"
+    )
+    for key in ("per_driver_counts", "top5", "alert_ids"):
+        assert current[key] == golden[key], (
+            f"pipeline output drifted from the golden snapshot ({key}). "
+            "If intentional, regenerate with "
+            "`PYTHONPATH=src python tests/golden/regen.py` and commit "
+            "the diff."
+        )
+
+
+def test_golden_snapshot_is_not_vacuous():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert sum(golden["per_driver_counts"].values()) > 0
+    assert len(golden["top5"]) == 5
+    assert golden["alert_ids"], (
+        "the alert leg of the snapshot is empty — it would pin nothing"
+    )
