@@ -1,0 +1,148 @@
+"""Serving-layer bench: latency, QPS, cache hit rate, shard balance.
+
+Gathers a seeded corpus, stands up the :class:`~repro.serve.portal.
+AlertPortal` and drives it with the deterministic closed-loop
+:class:`~repro.serve.loadgen.LoadGenerator` (zipf query popularity
+over the drivers' smart queries).  Emits ``BENCH_serve.json`` so the
+serving numbers are tracked across PRs: the *workload* (client mix and
+per-client query sequence, status counts, shard occupancy) is a pure
+function of the seed and identical on every run; wall latencies vary
+with the host, and the cache hit rate can wobble by a few lookups when
+identical in-flight queries coalesce instead of hitting the cache.
+
+Admission is provisioned generously here — overload behaviour is the
+serve test suite's job; the bench measures the happy-path ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.drivers import builtin_drivers
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.serve import AdmissionController, AlertPortal, LoadGenerator
+
+#: Committed artifact; regenerating it is the point of the bench.
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+
+def serving_queries() -> list[str]:
+    """The analyst query mix: every smart query plus loose keywords."""
+    queries = [
+        query
+        for driver in builtin_drivers()
+        for query in driver.smart_queries
+    ]
+    queries += [
+        "acquisition",
+        "revenue growth",
+        "new ceo appointment",
+        "quarterly earnings",
+        "merger agreement",
+    ]
+    return queries
+
+
+def measure(
+    n_docs: int = 600,
+    n_clients: int = 8,
+    n_queries: int = 400,
+    n_shards: int = 4,
+    seed: int = 7,
+    out: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Run the load and (optionally) write ``BENCH_serve.json``."""
+    web = build_web(n_docs, CorpusConfig(seed=seed))
+    etap = Etap.from_web(web, config=EtapConfig())
+    etap.gather()
+    admission = AdmissionController(
+        rate=1e9, burst=float(max(1, n_queries)),
+        max_pending=max(64, n_clients * 4),
+    )
+    with AlertPortal.from_etap(
+        etap, n_shards=n_shards, admission=admission
+    ) as portal:
+        generator = LoadGenerator(
+            portal,
+            serving_queries(),
+            n_clients=n_clients,
+            n_queries=n_queries,
+            seed=seed,
+        )
+        report = generator.run()
+        stats = portal.stats()
+    payload = {
+        "bench": "serve",
+        "n_docs": n_docs,
+        "n_shards": n_shards,
+        "cache_evictions": stats["cache_evictions"],
+        **report.to_dict(),
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return payload
+
+
+#: Schema floor for BENCH_serve.json; the tier-1 smoke test enforces it.
+REQUIRED_KEYS = frozenset(
+    {
+        "bench", "n_docs", "n_shards", "n_clients", "n_queries",
+        "seed", "wall_seconds", "qps", "p50_ms", "p99_ms", "statuses",
+        "cache_hit_rate", "shard_docs", "shard_balance", "generation",
+    }
+)
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema-check a BENCH_serve payload; returns human errors."""
+    errors = [
+        f"missing key {key!r}"
+        for key in sorted(REQUIRED_KEYS - set(payload))
+    ]
+    if errors:
+        return errors
+    if payload["bench"] != "serve":
+        errors.append(f"bench is {payload['bench']!r}, not 'serve'")
+    for key in ("qps", "p50_ms", "p99_ms", "wall_seconds"):
+        if not isinstance(payload[key], (int, float)) or payload[key] < 0:
+            errors.append(f"{key} must be a non-negative number")
+    if not 0.0 <= payload["cache_hit_rate"] <= 1.0:
+        errors.append("cache_hit_rate must be in [0, 1]")
+    if payload["p99_ms"] < payload["p50_ms"]:
+        errors.append("p99_ms must be >= p50_ms")
+    if not isinstance(payload["statuses"], dict):
+        errors.append("statuses must be a status -> count mapping")
+    elif sum(payload["statuses"].values()) != payload["n_queries"]:
+        errors.append("statuses must account for every query")
+    if (
+        not isinstance(payload["shard_docs"], list)
+        or len(payload["shard_docs"]) != payload["n_shards"]
+    ):
+        errors.append("shard_docs must list one count per shard")
+    return errors
+
+
+def bench_serve_portal(benchmark):
+    payload = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(f"\nserve: {payload['qps']:.0f} QPS  "
+          f"p50 {payload['p50_ms']:.3f}ms  "
+          f"p99 {payload['p99_ms']:.3f}ms  "
+          f"hit rate {payload['cache_hit_rate']:.2f}  "
+          f"balance {payload['shard_balance']:.2f}")
+    benchmark.extra_info.update(payload)
+    assert not validate_payload(payload)
+    assert payload["statuses"].get("ok", 0) == payload["n_queries"]
+    # The zipf mix must make the cache earn its keep.
+    assert payload["cache_hit_rate"] > 0.3
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2, sort_keys=True))

@@ -408,6 +408,73 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Gather a corpus, stand up the portal, and drive seeded load."""
+    from repro.serve import AlertPortal, LoadGenerator
+
+    tracer = _tracer(args)
+    if not tracer.enabled:
+        tracer = Tracer()
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
+    etap = Etap.from_web(
+        web, tracer=tracer, event_log=_event_log(args)
+    )
+    report = etap.gather()
+    note = _degradation_note(report)
+    print(f"gathered {report.documents_stored} documents{note}")
+    with AlertPortal.from_etap(etap, n_shards=args.shards) as portal:
+        queries = [
+            query
+            for driver in builtin_drivers()
+            for query in driver.smart_queries
+        ] + ["acquisition", "revenue growth", "new ceo appointment"]
+        generator = LoadGenerator(
+            portal,
+            queries,
+            n_clients=args.clients,
+            n_queries=args.queries,
+            seed=args.seed,
+        )
+        load = generator.run()
+        payload = load.to_dict()
+        print(ascii_table(
+            ["Metric", "Value"],
+            [
+                ["queries served", payload["n_queries"]],
+                ["clients", payload["n_clients"]],
+                ["QPS", payload["qps"]],
+                ["p50 latency (ms)", payload["p50_ms"]],
+                ["p99 latency (ms)", payload["p99_ms"]],
+                ["cache hit rate",
+                 format_float(payload["cache_hit_rate"])],
+                ["shard docs",
+                 "/".join(str(n) for n in payload["shard_docs"])],
+                ["shard balance (max/mean)",
+                 format_float(payload["shard_balance"])],
+                ["index generation", payload["generation"]],
+                ["statuses",
+                 ", ".join(f"{status}={count}" for status, count
+                           in payload["statuses"].items())],
+            ],
+        ))
+        text = prometheus_text(
+            tracer.registry,
+            gauges=derive_gauges(tracer.registry, portal=portal),
+        )
+        parse_prometheus_text(text)  # self-check
+        serve_lines = [
+            line for line in text.splitlines()
+            if "serve" in line and not line.startswith("#")
+        ]
+        if serve_lines:
+            print("\nserve.* metrics:")
+            for line in serve_lines:
+                print(f"  {line}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay the demo pipeline under a tracer; emit the report as JSON."""
     tracer = _tracer(args)
@@ -526,6 +593,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus scale: 'full' matches the paper's test counts",
     )
     reproduce.set_defaults(func=cmd_reproduce)
+
+    serve = sub.add_parser(
+        "serve", parents=[profiled, faulty],
+        help="stand up the alert portal over a gathered corpus and "
+             "drive seeded closed-loop query load (see "
+             "docs/SERVING.md)",
+    )
+    serve.add_argument("--docs", type=int, default=800)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--queries", type=int, default=400,
+                       help="total queries issued across all clients")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent closed-loop client threads")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="index shards (doc-id hash partitioned)")
+    serve.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser(
         "trace", parents=[profiled],

@@ -99,7 +99,13 @@ class DocumentStore:
         return len(self._by_id)
 
     def __iter__(self) -> Iterator[StoredDocument]:
-        return (self._by_id[doc_id] for doc_id in self._order)
+        # Iterate over a snapshot of the id list: the serve layer
+        # re-indexes the store while a crawl may still be adding, and
+        # an iterator over the live list would see a moving tail (or,
+        # for dict-backed views, RuntimeError: changed size).  Readers
+        # get the documents present when iteration started.
+        order = tuple(self._order)
+        return (self._by_id[doc_id] for doc_id in order)
 
     def doc_ids(self) -> list[str]:
         return list(self._order)

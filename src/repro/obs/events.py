@@ -72,6 +72,10 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "breaker_open": frozenset({"host", "failures"}),
     "breaker_close": frozenset({"host"}),
     "fetch_dead_letter": frozenset({"url", "reason", "attempts"}),
+    "query_served": frozenset({"client_id", "query", "status"}),
+    "query_rejected": frozenset({"client_id", "reason"}),
+    "snapshot_swapped": frozenset({"generation", "n_docs", "n_shards"}),
+    "subscription_polled": frozenset({"subscription_id", "n_alerts"}),
 }
 
 _ENVELOPE_FIELDS = frozenset(

@@ -134,6 +134,7 @@ def derive_gauges(
     registry: Registry,
     scheduler=None,
     event_log=None,
+    portal=None,
 ) -> dict[str, float]:
     """Pipeline-level gauges computed from recorded counters.
 
@@ -143,7 +144,12 @@ def derive_gauges(
       driver, the classifier-drift headline number;
     * ``scheduler_queue_depth`` / ``scheduler_tracked_urls`` — revisit
       scheduler backlog, when a scheduler is provided;
-    * ``events_emitted`` — flight-recorder volume, when a log is given.
+    * ``events_emitted`` — flight-recorder volume, when a log is given;
+    * ``serve_cache_hit_rate`` / ``serve_rejection_rate`` — serving-
+      layer health, from the ``serve.*`` counters;
+    * ``serve_queue_depth`` / ``serve_generation`` /
+      ``serve_shard_docs{shard="..."}`` — live portal state, when an
+      :class:`~repro.serve.portal.AlertPortal` is provided.
     """
     counters = registry.counters
     gauges: dict[str, float] = {}
@@ -172,5 +178,25 @@ def derive_gauges(
 
     if event_log is not None and event_log.enabled:
         gauges["events_emitted"] = float(event_log.total_emitted)
+
+    hits = counters.get("serve.cache_hits", 0)
+    misses = counters.get("serve.cache_misses", 0)
+    if hits + misses:
+        gauges["serve_cache_hit_rate"] = hits / (hits + misses)
+    admitted = counters.get("serve.admitted", 0)
+    rejected = counters.get("serve.rejected", 0)
+    if admitted + rejected:
+        gauges["serve_rejection_rate"] = rejected / (
+            admitted + rejected
+        )
+
+    if portal is not None:
+        stats = portal.stats()
+        gauges["serve_queue_depth"] = float(stats["queue_depth"])
+        gauges["serve_generation"] = float(stats["generation"])
+        for shard, n_docs in enumerate(stats["shard_docs"]):
+            gauges[f'serve_shard_docs{{shard="{shard}"}}'] = float(
+                n_docs
+            )
 
     return gauges

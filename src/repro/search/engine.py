@@ -89,7 +89,17 @@ class SearchEngine:
         self.tracer.count("engine.documents_indexed")
 
     def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
-        """Run ``query`` and return the ``top_k`` ranked results."""
+        """Run ``query`` and return the ``top_k`` ranked results.
+
+        Degenerate queries are answered, never raised on: a query that
+        normalizes to zero terms (empty/whitespace/punctuation-only
+        input, or only empty quoted phrases) and a non-positive
+        ``top_k`` both return an empty result list.  The serve layer
+        relies on this — an analyst's garbage query must produce an
+        empty page, not a 500.
+        """
+        if top_k <= 0:
+            return []
         with self.tracer.timed("engine.search_seconds"):
             results = self._search(query, top_k)
         self.tracer.count("engine.searches")

@@ -1,0 +1,103 @@
+"""The serving subsystem: ETAP as a concurrent request/response portal.
+
+The batch pipeline produces alerts in a loop; this package turns its
+artifacts into a system that answers analyst traffic:
+
+* :mod:`repro.serve.shards` — :class:`ShardedIndex`: doc-id-hashed
+  shards behind immutable :class:`IndexSnapshot` generations with an
+  atomic swap, so reads never block re-indexing;
+* :mod:`repro.serve.cache` — :class:`QueryCache`: TTL'd, size- and
+  entry-bounded LRU with generation-wise invalidation and explicit
+  stale reads;
+* :mod:`repro.serve.workers` — :class:`WorkerPool`: bounded threads,
+  identical in-flight queries coalesced, per-request deadlines;
+* :mod:`repro.serve.admission` — :class:`TokenBucket` rate limiting
+  per client plus a bounded admission queue whose overflow is a
+  ``Rejected`` *value*, never an exception;
+* :mod:`repro.serve.portal` — :class:`AlertPortal`: the facade;
+  multi-tenant subscriptions (company/driver filters), ``query()``,
+  ``poll_alerts()`` on AlertService idempotency keys;
+* :mod:`repro.serve.loadgen` — :class:`LoadGenerator`: seeded
+  closed-loop clients with zipf query popularity, feeding
+  ``benchmarks/bench_serve.py``.
+
+See ``docs/SERVING.md`` for the architecture and the overload /
+zero-downtime-swap semantics the serve test suite enforces.
+"""
+
+from repro.serve.admission import (
+    ADMITTED,
+    QUEUE_FULL,
+    RATE_LIMITED,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serve.cache import (
+    MISS,
+    CacheKey,
+    CacheStats,
+    QueryCache,
+    cache_key,
+)
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    percentile,
+    zipf_weights,
+)
+from repro.serve.portal import (
+    STATUS_DEADLINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_STALE,
+    AlertPortal,
+    QueryResponse,
+    Subscription,
+)
+from repro.serve.shards import IndexSnapshot, ShardedIndex, shard_of
+from repro.serve.timebase import clock_now, default_clock
+from repro.serve.workers import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    OK,
+    WorkerPool,
+    WorkOutcome,
+)
+
+__all__ = [
+    "ADMITTED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AlertPortal",
+    "CacheKey",
+    "CacheStats",
+    "DEADLINE_EXCEEDED",
+    "ERROR",
+    "IndexSnapshot",
+    "LoadGenerator",
+    "LoadReport",
+    "MISS",
+    "OK",
+    "QUEUE_FULL",
+    "QueryCache",
+    "QueryResponse",
+    "RATE_LIMITED",
+    "STATUS_DEADLINE",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_STALE",
+    "ShardedIndex",
+    "Subscription",
+    "TokenBucket",
+    "WorkOutcome",
+    "WorkerPool",
+    "cache_key",
+    "clock_now",
+    "default_clock",
+    "percentile",
+    "shard_of",
+    "zipf_weights",
+]

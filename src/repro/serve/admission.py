@@ -1,0 +1,168 @@
+"""Admission control: per-client token buckets + a bounded queue.
+
+Overload must degrade, never cascade.  Requests pass two gates before
+touching the index:
+
+1. a per-client :class:`TokenBucket` (``rate`` tokens/second on the
+   injected clock, ``burst`` capacity) — one hot client cannot starve
+   the rest;
+2. a global bounded admission count (``max_pending`` requests admitted
+   but not yet released) — the explicit backpressure valve.  When the
+   queue is full, the decision is a *value* (``Rejected`` with reason
+   ``queue_full``), never an exception and never an unbounded queue.
+
+The portal turns a rejection into a ``429``-style response, serving a
+stale cached result instead when one exists.  Counters
+(``serve.admitted``, ``serve.rejected``, ``serve.rejected[reason]``)
+feed the Prometheus export so overload is visible from outside.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.serve.timebase import clock_now, default_clock
+
+RATE_LIMITED = "rate_limited"
+QUEUE_FULL = "queue_full"
+
+
+class TokenBucket:
+    """Classic token bucket on an injected (possibly simulated) clock.
+
+    Starts full.  ``try_acquire`` refills ``rate * elapsed`` tokens
+    (capped at ``burst``) and admits iff at least one whole token is
+    available — so over any window the bucket admits at most
+    ``burst + rate * window`` requests, the bound the property suite
+    pins down.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, clock=None
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock or default_clock()
+        self._tokens = self.burst
+        self._last_refill = clock_now(self.clock)
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (refilled to now); for tests/reports."""
+        with self._lock:
+            self._refill(clock_now(self.clock))
+            return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        now = clock_now(self.clock)
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+        self._last_refill = max(self._last_refill, now)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission attempt — a value, not a raise."""
+
+    admitted: bool
+    reason: str = ""  # RATE_LIMITED | QUEUE_FULL when rejected
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+ADMITTED = AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Per-client rate limiting plus a global bounded pending count."""
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 20.0,
+        max_pending: int = 64,
+        clock=None,
+        tracer: AnyTracer | None = None,
+    ) -> None:
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.rate = rate
+        self.burst = burst
+        self.max_pending = max_pending
+        self.clock = clock or default_clock()
+        self.tracer = tracer or NULL_TRACER
+        self._buckets: dict[str, TokenBucket] = {}
+        self._pending = 0
+        self._lock = threading.Lock()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unreleased requests (the queue depth gauge)."""
+        with self._lock:
+            return self._pending
+
+    def bucket_of(self, client_id: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.rate, self.burst, clock=self.clock
+                )
+                self._buckets[client_id] = bucket
+            return bucket
+
+    # -- the gate --------------------------------------------------------------
+
+    def admit(self, client_id: str) -> AdmissionDecision:
+        """Try to admit one request for ``client_id``.
+
+        The caller must :meth:`release` every admitted request exactly
+        once (the portal does this in a ``finally``).
+        """
+        if not self.bucket_of(client_id).try_acquire():
+            self.tracer.count("serve.rejected")
+            self.tracer.count(f"serve.rejected[{RATE_LIMITED}]")
+            return AdmissionDecision(False, RATE_LIMITED)
+        with self._lock:
+            if self._pending >= self.max_pending:
+                rejected = True
+            else:
+                self._pending += 1
+                rejected = False
+        if rejected:
+            self.tracer.count("serve.rejected")
+            self.tracer.count(f"serve.rejected[{QUEUE_FULL}]")
+            return AdmissionDecision(False, QUEUE_FULL)
+        self.tracer.count("serve.admitted")
+        return ADMITTED
+
+    def release(self) -> None:
+        """Return one admitted slot; must pair 1:1 with admissions."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError(
+                    "release() without a matching admit()"
+                )
+            self._pending -= 1

@@ -1,0 +1,213 @@
+"""TTL'd LRU result cache with generation-wise invalidation.
+
+The portal's smart queries are heavily repeated (templated entity
+queries, zipf-popular analyst searches), so a small result cache
+absorbs most of the read load.  The cache is bounded two ways —
+``max_entries`` and a cost budget ``max_cost`` (least-recently-used
+entries evicted first) — and every entry carries:
+
+* an **expiry instant** on the injected clock (TTL; monotone on the
+  tick clock, so simulated time drives deterministic expiry tests);
+* the **index generation** it was computed against.  A snapshot swap
+  bumps the portal's generation; entries from older generations are
+  lazily dropped on access and eagerly dropped by
+  :meth:`invalidate_other_generations`, so a re-index never serves a
+  mixed-generation result as fresh.
+
+Stale reads are explicit: :meth:`get_stale` returns an expired or
+old-generation value (for overload degradation) without ever counting
+as a fresh hit.  All operations are lock-guarded and O(1) amortized;
+hit/miss/eviction/expiry counters feed the Prometheus export.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.serve.timebase import clock_now, default_clock
+
+#: Returned by :meth:`QueryCache.get` on a miss (``None`` is a value).
+MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters; snapshot with :meth:`QueryCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    stale_reads: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    value: object
+    expires_at: float
+    generation: int
+    cost: float = 1.0
+
+
+class QueryCache:
+    """Size- and entry-bounded LRU with TTL and generation tags."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        max_cost: float = 65_536.0,
+        ttl: float = 30.0,
+        clock=None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_cost <= 0:
+            raise ValueError("max_cost must be positive")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.max_entries = max_entries
+        self.max_cost = max_cost
+        self.ttl = ttl
+        self.clock = clock or default_clock()
+        self._entries: OrderedDict[object, _Entry] = OrderedDict()
+        self._total_cost = 0.0
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    @property
+    def total_cost(self) -> float:
+        return self._total_cost
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(**vars(self._stats))
+
+    # -- core ------------------------------------------------------------------
+
+    def get(self, key: object, generation: int):
+        """Fresh lookup: right generation and unexpired, else ``MISS``.
+
+        Expired and wrong-generation entries are dropped on the way —
+        lazy invalidation keeps a hot cache self-cleaning.
+        """
+        now = clock_now(self.clock)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return MISS
+            if entry.generation != generation:
+                self._drop(key, entry)
+                self._stats.invalidations += 1
+                self._stats.misses += 1
+                return MISS
+            if now >= entry.expires_at:
+                self._drop(key, entry)
+                self._stats.expirations += 1
+                self._stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry.value
+
+    def get_stale(self, key: object):
+        """Degraded lookup: any cached value, however old, else ``MISS``.
+
+        The overload path uses this — a stale answer beats a rejection
+        — and it never touches the hit/miss counters, so the fresh hit
+        rate stays honest.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return MISS
+            self._stats.stale_reads += 1
+            return entry.value
+
+    def put(
+        self,
+        key: object,
+        value: object,
+        generation: int,
+        cost: float = 1.0,
+    ) -> None:
+        """Insert/replace; evicts LRU entries to stay within bounds."""
+        cost = max(1.0, float(cost))
+        now = clock_now(self.clock)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total_cost -= old.cost
+            if cost > self.max_cost:
+                # Larger than the whole budget: admitting it would
+                # evict everything and still overflow; skip it.
+                return
+            self._entries[key] = _Entry(
+                value=value,
+                expires_at=now + self.ttl,
+                generation=generation,
+                cost=cost,
+            )
+            self._total_cost += cost
+            while (
+                len(self._entries) > self.max_entries
+                or self._total_cost > self.max_cost
+            ):
+                victim_key, victim = next(iter(self._entries.items()))
+                self._drop(victim_key, victim)
+                self._stats.evictions += 1
+
+    def invalidate_other_generations(self, generation: int) -> int:
+        """Eagerly drop entries not from ``generation``; returns count."""
+        with self._lock:
+            doomed = [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if entry.generation != generation
+            ]
+            for key, entry in doomed:
+                self._drop(key, entry)
+            self._stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total_cost = 0.0
+
+    # -- internals -------------------------------------------------------------
+
+    def _drop(self, key: object, entry: _Entry) -> None:
+        """Remove one entry; caller holds the lock."""
+        del self._entries[key]
+        self._total_cost -= entry.cost
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Canonical cache key for a portal query (hash- and eq-able)."""
+
+    query: str
+    top_k: int
+
+
+def cache_key(query: str, top_k: int) -> CacheKey:
+    """Whitespace-normalize the query so trivial variants share an
+    entry (and coalesce in the worker pool, which keys the same way)."""
+    return CacheKey(" ".join(query.split()), top_k)

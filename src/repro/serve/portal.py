@@ -1,0 +1,391 @@
+"""The ETAP portal: analyst-facing serving facade.
+
+The paper's ETAP delivers ranked trigger events to sales analysts
+through a portal.  :class:`AlertPortal` is that layer for this repo:
+an in-process request/response front over the batch pipeline's
+artifacts, assembled from the serve substrate —
+
+* a :class:`~repro.serve.shards.ShardedIndex` (immutable snapshots,
+  atomic swap) answers ad-hoc analyst queries without ever blocking on
+  re-indexing;
+* a :class:`~repro.serve.cache.QueryCache` absorbs repeated queries
+  and is invalidated generation-wise on every snapshot swap;
+* a :class:`~repro.serve.workers.WorkerPool` bounds concurrency and
+  coalesces identical in-flight queries;
+* an :class:`~repro.serve.admission.AdmissionController` applies
+  per-client rate limits and queue backpressure, degrading to stale
+  cached results under overload instead of failing.
+
+Alert delivery is multi-tenant: analysts :meth:`subscribe` with
+company and driver filters (the paper's driver taxonomy);
+:meth:`poll_alerts` returns each matching alert exactly once per
+subscription, keyed by the :class:`~repro.core.alerts.AlertService`
+idempotency key, so re-polls and alert re-publication never duplicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.alerts import Alert
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.search.engine import SearchResult
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import MISS, QueryCache, cache_key
+from repro.serve.shards import ShardedIndex
+from repro.serve.timebase import clock_now, default_clock
+from repro.serve.workers import OK, WorkerPool
+
+#: QueryResponse.status values.
+STATUS_OK = "ok"
+STATUS_STALE = "stale"
+STATUS_REJECTED = "rejected"
+STATUS_DEADLINE = "deadline_exceeded"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One portal answer; every field a value, never an exception."""
+
+    status: str
+    results: tuple[SearchResult, ...] = ()
+    generation: int = 0
+    cached: bool = False
+    reason: str = ""
+    latency: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_STALE)
+
+
+@dataclass
+class Subscription:
+    """One analyst's standing alert filter (a tenant of the portal)."""
+
+    subscription_id: str
+    analyst: str
+    companies: frozenset[str] = frozenset()
+    drivers: frozenset[str] = frozenset()
+    #: Alert ids already delivered to this subscription.
+    delivered: set[str] = field(default_factory=set)
+
+    def matches(self, alert: Alert) -> bool:
+        if self.drivers and alert.driver_id not in self.drivers:
+            return False
+        if self.companies:
+            mentioned = {
+                company.lower() for company in alert.event.companies
+            }
+            if not (self.companies & mentioned):
+                return False
+        return True
+
+
+class AlertPortal:
+    """Concurrent query/alert serving over a gathered collection."""
+
+    def __init__(
+        self,
+        store,
+        alert_service=None,
+        n_shards: int = 4,
+        cache: QueryCache | None = None,
+        admission: AdmissionController | None = None,
+        max_workers: int = 4,
+        serve_stale_on_overload: bool = True,
+        clock=None,
+        tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
+    ) -> None:
+        self.store = store
+        self.alert_service = alert_service
+        self.clock = clock or default_clock()
+        self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
+        self.serve_stale_on_overload = serve_stale_on_overload
+        self.shards = ShardedIndex(
+            n_shards=n_shards,
+            tracer=self.tracer,
+            event_log=self.event_log,
+        )
+        self.cache = cache or QueryCache(clock=self.clock)
+        self.admission = admission or AdmissionController(
+            clock=self.clock, tracer=self.tracer
+        )
+        self.workers = WorkerPool(
+            self._execute_query,
+            max_workers=max_workers,
+            clock=self.clock,
+            tracer=self.tracer,
+        )
+        self._subscriptions: dict[str, Subscription] = {}
+        self._alert_log: list[Alert] = []
+        self._known_alert_ids: set[str] = set()
+        self._sub_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_etap(cls, etap, alert_service=None, **kwargs) -> "AlertPortal":
+        """Build a portal over an Etap's store (and optional service)."""
+        kwargs.setdefault("tracer", etap.tracer)
+        kwargs.setdefault("event_log", etap.event_log)
+        portal = cls(etap.store, alert_service=alert_service, **kwargs)
+        portal.refresh()
+        return portal
+
+    # -- index lifecycle -------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self.shards.generation
+
+    def refresh(self) -> int:
+        """Re-index the store into a new snapshot; swap atomically.
+
+        Queries in flight finish against the generation they started
+        on; the cache drops every older-generation entry so nothing
+        stale is ever served as fresh.  Returns the new generation.
+        """
+        snapshot = self.shards.rebuild_from_store(self.store)
+        self.cache.invalidate_other_generations(snapshot.generation)
+        return snapshot.generation
+
+    # -- the query path --------------------------------------------------------
+
+    def query(
+        self,
+        client_id: str,
+        query: str,
+        top_k: int = 10,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Answer one analyst query; never raises.
+
+        ``timeout`` is a per-request deadline in clock seconds; a
+        request picked up past its deadline returns
+        ``deadline_exceeded`` instead of a late answer.
+        """
+        started = clock_now(self.clock)
+        self.tracer.count("serve.queries")
+        key = cache_key(query, top_k)
+
+        decision = self.admission.admit(client_id)
+        if not decision:
+            return self._overload_response(
+                client_id, key, decision.reason, started
+            )
+        try:
+            snapshot_generation = self.shards.generation
+            cached = self.cache.get(key, snapshot_generation)
+            if cached is not MISS:
+                self.tracer.count("serve.cache_hits")
+                return self._respond(
+                    client_id,
+                    key,
+                    STATUS_OK,
+                    results=cached,
+                    generation=snapshot_generation,
+                    cached=True,
+                    started=started,
+                )
+            self.tracer.count("serve.cache_misses")
+            deadline = (
+                None if timeout is None else started + timeout
+            )
+            outcome = self.workers.execute(key, deadline=deadline)
+            if outcome.status != OK:
+                return self._respond(
+                    client_id,
+                    key,
+                    outcome.status,
+                    reason=outcome.error,
+                    started=started,
+                )
+            generation, results = outcome.value
+            self.cache.put(
+                key,
+                results,
+                generation,
+                cost=1.0 + len(results),
+            )
+            return self._respond(
+                client_id,
+                key,
+                STATUS_OK,
+                results=results,
+                generation=generation,
+                started=started,
+            )
+        finally:
+            self.admission.release()
+
+    def _execute_query(self, key) -> tuple[int, tuple[SearchResult, ...]]:
+        """Worker-side search: one snapshot grabbed once, used fully."""
+        snapshot = self.shards.snapshot
+        results = tuple(snapshot.search(key.query, top_k=key.top_k))
+        return snapshot.generation, results
+
+    def _overload_response(
+        self, client_id: str, key, reason: str, started: float
+    ) -> QueryResponse:
+        """Rejected by admission: degrade to stale cache if allowed."""
+        self.event_log.emit(
+            "query_rejected", client_id=client_id, reason=reason
+        )
+        if self.serve_stale_on_overload:
+            stale = self.cache.get_stale(key)
+            if stale is not MISS:
+                self.tracer.count("serve.stale_served")
+                return self._respond(
+                    client_id,
+                    key,
+                    STATUS_STALE,
+                    results=stale,
+                    generation=self.shards.generation,
+                    cached=True,
+                    reason=reason,
+                    started=started,
+                )
+        return self._respond(
+            client_id, key, STATUS_REJECTED, reason=reason,
+            started=started,
+        )
+
+    def _respond(
+        self,
+        client_id: str,
+        key,
+        status: str,
+        results=(),
+        generation: int = 0,
+        cached: bool = False,
+        reason: str = "",
+        started: float = 0.0,
+    ) -> QueryResponse:
+        latency = max(0.0, clock_now(self.clock) - started)
+        self.tracer.observe("serve.latency_seconds", latency)
+        self.event_log.emit(
+            "query_served",
+            client_id=client_id,
+            query=key.query,
+            status=status,
+            n_results=len(results),
+        )
+        return QueryResponse(
+            status=status,
+            results=tuple(results),
+            generation=generation,
+            cached=cached,
+            reason=reason,
+            latency=latency,
+        )
+
+    # -- alert delivery --------------------------------------------------------
+
+    def subscribe(
+        self,
+        analyst: str,
+        companies=(),
+        drivers=(),
+    ) -> str:
+        """Register a standing filter; returns the subscription id."""
+        with self._lock:
+            subscription_id = f"sub-{next(self._sub_counter):04d}"
+            self._subscriptions[subscription_id] = Subscription(
+                subscription_id=subscription_id,
+                analyst=analyst,
+                companies=frozenset(c.lower() for c in companies),
+                drivers=frozenset(drivers),
+            )
+        self.tracer.count("serve.subscriptions")
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        with self._lock:
+            self._subscriptions.pop(subscription_id, None)
+
+    def publish(self, alerts) -> int:
+        """Feed alerts into the portal's log; idempotent on alert id.
+
+        The :class:`~repro.core.alerts.AlertService` idempotency key is
+        the alert id, so republishing a poll report (or overlapping
+        reports) adds each alert once, ever.
+        """
+        added = 0
+        with self._lock:
+            for alert in alerts:
+                if alert.alert_id in self._known_alert_ids:
+                    continue
+                self._known_alert_ids.add(alert.alert_id)
+                self._alert_log.append(alert)
+                added += 1
+        if added:
+            self.tracer.count("serve.alerts_published", added)
+        return added
+
+    def pump(self) -> int:
+        """Run one AlertService poll cycle and publish its alerts."""
+        if self.alert_service is None:
+            raise RuntimeError("no AlertService attached to this portal")
+        report = self.alert_service.poll()
+        return self.publish(report.alerts)
+
+    def poll_alerts(self, subscription_id: str) -> list[Alert]:
+        """New matching alerts for one subscription (each id once)."""
+        with self._lock:
+            subscription = self._subscriptions.get(subscription_id)
+            if subscription is None:
+                raise KeyError(
+                    f"unknown subscription {subscription_id!r}"
+                )
+            fresh = [
+                alert
+                for alert in self._alert_log
+                if alert.alert_id not in subscription.delivered
+                and subscription.matches(alert)
+            ]
+            subscription.delivered.update(
+                alert.alert_id for alert in fresh
+            )
+        self.event_log.emit(
+            "subscription_polled",
+            subscription_id=subscription_id,
+            n_alerts=len(fresh),
+        )
+        return fresh
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One-call portal health snapshot (bench + gauges source)."""
+        cache = self.cache.stats()
+        snapshot = self.shards.snapshot
+        return {
+            "generation": snapshot.generation,
+            "n_docs": snapshot.n_docs,
+            "shard_docs": snapshot.shard_sizes(),
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_hit_rate": cache.hit_rate,
+            "cache_evictions": cache.evictions,
+            "cache_stale_reads": cache.stale_reads,
+            "queue_depth": self.admission.pending,
+            "subscriptions": len(self._subscriptions),
+            "alerts_held": len(self._alert_log),
+        }
+
+    def close(self) -> None:
+        self.workers.shutdown()
+
+    def __enter__(self) -> "AlertPortal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""Sharded, snapshot-swapped search index for concurrent serving.
+
+The batch pipeline owns one mutable :class:`~repro.search.index.
+InvertedIndex`; a serving layer cannot query that while ingestion
+mutates it.  :class:`ShardedIndex` fixes both problems at once:
+
+* **sharding** — documents are partitioned by a stable hash of the doc
+  key into N :class:`~repro.search.engine.SearchEngine` shards, so a
+  rebuild parallelizes naturally and per-shard postings stay small;
+* **immutable snapshots** — readers only ever see an
+  :class:`IndexSnapshot`, a frozen generation of all N shards.
+  :meth:`ShardedIndex.rebuild` constructs the next generation off to
+  the side and installs it with one atomic reference assignment, so
+  queries in flight keep the generation they started on and new
+  queries see the new one.  Reads never block ingestion and never
+  observe a half-built index (the zero-downtime re-index contract the
+  serve tests pin down).
+
+BM25 statistics (document frequency, average length) are per shard,
+not global — with hash partitioning the shards are statistically
+similar, so merged rankings track the unsharded engine closely; the
+exact same *document set* is returned either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.search.engine import SearchEngine, SearchResult
+from repro.search.scoring import RankingFunction
+
+
+def shard_of(doc_key: str, n_shards: int) -> int:
+    """Stable shard assignment: sha256 of the doc key, mod N.
+
+    Uses a cryptographic digest rather than :func:`hash` so the
+    placement is identical across processes and Python versions
+    (``PYTHONHASHSEED`` never reshuffles a corpus).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    digest = hashlib.sha256(doc_key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % n_shards
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One immutable generation of the sharded index.
+
+    Holds every shard engine of a single rebuild.  Nothing mutates a
+    snapshot after construction; a query resolves entirely within the
+    snapshot it grabbed, which is what makes the swap tear-free.
+    """
+
+    generation: int
+    engines: tuple[SearchEngine, ...]
+    n_docs: int
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.engines)
+
+    def shard_sizes(self) -> list[int]:
+        """Documents per shard (the balance the bench reports)."""
+        return [engine.index.n_docs for engine in self.engines]
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
+        """Scatter the query to every shard and merge the rankings."""
+        if top_k <= 0:
+            return []
+        merged: list[SearchResult] = []
+        for engine in self.engines:
+            merged.extend(engine.search(query, top_k=top_k))
+        merged.sort(key=lambda result: (-result.score, result.doc_key))
+        return merged[:top_k]
+
+
+def _empty_snapshot() -> IndexSnapshot:
+    return IndexSnapshot(generation=0, engines=(SearchEngine(),), n_docs=0)
+
+
+class ShardedIndex:
+    """N hash-partitioned engines behind an atomic snapshot pointer.
+
+    ``rebuild`` is the only writer; it may run concurrently with any
+    number of readers.  Concurrent rebuilds are serialized by a lock so
+    generations advance monotonically.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        ranking_factory=None,
+        tracer: AnyTracer | None = None,
+        event_log: AnyEventLog | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        #: Called once per shard per rebuild, so shards never share
+        #: mutable ranking state (a RankingFunction is stateless today,
+        #: but the snapshot contract should not depend on that).
+        self.ranking_factory = ranking_factory
+        self.tracer = tracer or NULL_TRACER
+        self.event_log = event_log or NULL_EVENT_LOG
+        self._snapshot = _empty_snapshot()
+        self._rebuild_lock = threading.Lock()
+
+    # -- reads -----------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The current generation (atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def generation(self) -> int:
+        return self._snapshot.generation
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
+        """Search the current snapshot (grabbed once, used throughout)."""
+        return self._snapshot.search(query, top_k=top_k)
+
+    # -- writes ----------------------------------------------------------------
+
+    def _ranking(self) -> RankingFunction | None:
+        return self.ranking_factory() if self.ranking_factory else None
+
+    def rebuild(
+        self, documents: Iterable[tuple[str, str, str]]
+    ) -> IndexSnapshot:
+        """Index ``(doc_key, text, title)`` triples into a new generation.
+
+        The new shard engines are fully built before the snapshot
+        pointer moves, so readers see either the old generation or the
+        complete new one — never a mix.
+        """
+        with self._rebuild_lock:
+            with self.tracer.timed("serve.rebuild_seconds"):
+                engines = tuple(
+                    SearchEngine(ranking=self._ranking())
+                    for _ in range(self.n_shards)
+                )
+                n_docs = 0
+                for doc_key, text, title in documents:
+                    shard = shard_of(doc_key, self.n_shards)
+                    engines[shard].add_document(doc_key, text, title)
+                    n_docs += 1
+                snapshot = IndexSnapshot(
+                    generation=self._snapshot.generation + 1,
+                    engines=engines,
+                    n_docs=n_docs,
+                )
+            self._snapshot = snapshot  # the atomic swap
+        self.tracer.count("serve.snapshot_swaps")
+        self.event_log.emit(
+            "snapshot_swapped",
+            generation=snapshot.generation,
+            n_docs=snapshot.n_docs,
+            n_shards=snapshot.n_shards,
+        )
+        return snapshot
+
+    def rebuild_from_store(self, store) -> IndexSnapshot:
+        """Re-index a :class:`~repro.gather.store.DocumentStore`."""
+        return self.rebuild(
+            (document.doc_id, document.text, document.title)
+            for document in store
+        )

@@ -1,0 +1,45 @@
+"""One time axis for the serving layer, real or simulated.
+
+The serve modules (cache TTLs, token buckets, deadlines, latency
+accounting) all read time through :func:`clock_now`, which accepts
+either protocol already in the repo:
+
+* the :class:`~repro.obs.clock.Clock` protocol — ``now()`` is a method
+  (:class:`~repro.obs.clock.MonotonicClock`,
+  :class:`~repro.obs.clock.FakeClock`);
+* the robustness tick clock — ``now`` is an attribute advanced by
+  simulated work (:class:`~repro.robustness.faults.FaultyWeb`, the
+  fetcher's internal tick clock).
+
+Overload and expiry tests therefore run on the same deterministic tick
+clock as the chaos suite: hand the portal a ``FakeClock`` (or the
+``FaultyWeb`` it crawls through) and every TTL, rate-limit window and
+deadline becomes an exact, replayable function of ticks — no
+``time.sleep``, no tolerance windows.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.obs.clock import MonotonicClock
+
+
+@runtime_checkable
+class TickSource(Protocol):
+    """Anything exposing a current time, as attribute or method."""
+
+    now: object  # pragma: no cover - protocol
+
+
+def clock_now(clock) -> float:
+    """Current time of either clock protocol, in seconds/ticks."""
+    now = clock.now
+    if callable(now):
+        return float(now())
+    return float(now)
+
+
+def default_clock() -> MonotonicClock:
+    """The wall clock used when no simulated clock is supplied."""
+    return MonotonicClock()

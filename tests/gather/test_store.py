@@ -99,6 +99,63 @@ class TestAccess:
         with pytest.raises(KeyError):
             DocumentStore().get("nope")
 
+    def test_iteration_survives_concurrent_add(self):
+        """The serve layer re-indexes from the store while gathering
+        may still append: iteration works over a snapshot of the id
+        list, so adds during a sweep never raise or skip-ahead."""
+        store = DocumentStore()
+        for i in range(50):
+            store.add(doc(doc_id=f"d{i}", url=f"http://a/{i}",
+                          text=f"text {i}"))
+        seen = []
+        for i, document in enumerate(store):
+            seen.append(document.doc_id)
+            if i % 10 == 0:  # mutate mid-iteration
+                store.add(doc(
+                    doc_id=f"late{i}", url=f"http://late/{i}",
+                    text=f"late text {i}",
+                ))
+        # The sweep sees exactly the ids present when it started.
+        assert seen == [f"d{i}" for i in range(50)]
+        assert len(store) == 55
+
+    def test_iteration_snapshot_under_threads(self):
+        import threading
+
+        store = DocumentStore()
+        for i in range(200):
+            store.add(doc(doc_id=f"d{i:03d}", url=f"http://a/{i}",
+                          text=f"text {i}"))
+        errors = []
+
+        def writer():
+            for i in range(200):
+                try:
+                    store.add(doc(
+                        doc_id=f"w{i:03d}", url=f"http://w/{i}",
+                        text=f"writer text {i}",
+                    ))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        def sweeper():
+            for _ in range(20):
+                try:
+                    ids = [document.doc_id for document in store]
+                    # Prefix stability: the seed docs always lead.
+                    assert ids[:200] == [f"d{i:03d}" for i in range(200)]
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=sweeper) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
 
 class TestPersistence:
     def test_roundtrip(self, tmp_path):

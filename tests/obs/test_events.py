@@ -83,6 +83,14 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "reason": "exhausted:transient",
         "attempts": 4,
     },
+    "query_served": {
+        "client_id": "analyst-7",
+        "query": '"agreed to acquire"',
+        "status": "ok",
+    },
+    "query_rejected": {"client_id": "analyst-7", "reason": "queue_full"},
+    "snapshot_swapped": {"generation": 2, "n_docs": 640, "n_shards": 4},
+    "subscription_polled": {"subscription_id": "sub-0001", "n_alerts": 3},
 }
 
 

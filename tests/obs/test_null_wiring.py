@@ -72,6 +72,10 @@ def recorder_keepers():
         WEB, tracer=t, event_log=e
     )
     yield "AlertService", lambda t, e: _alert_service(etap, e)
+    yield "ShardedIndex", lambda t, e: _sharded_index(t, e)
+    yield "WorkerPool", lambda t, e: _worker_pool(t)
+    yield "AdmissionController", lambda t, e: _admission(t)
+    yield "AlertPortal", lambda t, e: _portal(etap, t, e)
 
 
 def _training_generator(gatherer, tracer):
@@ -93,6 +97,36 @@ def _alert_service(etap, event_log):
     # for a wiring test and avoids training a real model here.
     etap.classifiers.setdefault("stub", object())
     return AlertService(etap, event_log=event_log)
+
+
+def _sharded_index(tracer, event_log):
+    from repro.serve.shards import ShardedIndex
+
+    return ShardedIndex(n_shards=2, tracer=tracer, event_log=event_log)
+
+
+def _worker_pool(tracer):
+    from repro.serve.workers import WorkerPool
+
+    pool = WorkerPool(lambda key: key, max_workers=1, tracer=tracer)
+    pool.shutdown()
+    return pool
+
+
+def _admission(tracer):
+    from repro.serve.admission import AdmissionController
+
+    return AdmissionController(tracer=tracer)
+
+
+def _portal(etap, tracer, event_log):
+    from repro.serve.portal import AlertPortal
+
+    portal = AlertPortal(
+        etap.store, n_shards=1, tracer=tracer, event_log=event_log
+    )
+    portal.close()
+    return portal
 
 
 @pytest.mark.parametrize(

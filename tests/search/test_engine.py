@@ -84,6 +84,28 @@ class TestSearch:
         assert engine.search("acme")[0].title == "Acme grows"
 
 
+class TestDegenerateQueries:
+    """The serving layer feeds raw user input straight into search():
+    zero-term queries must come back empty, never raise."""
+
+    @pytest.mark.parametrize(
+        "query",
+        ["", "   ", "\t\n", '""', "'!!!'", "!!!", "...", '"  "', "&&&"],
+    )
+    def test_zero_term_query_returns_empty(self, engine, query):
+        assert engine.search(query) == []
+
+    @pytest.mark.parametrize("top_k", [0, -1, -100])
+    def test_non_positive_top_k_returns_empty(self, engine, top_k):
+        assert engine.search("acme", top_k=top_k) == []
+
+    def test_degenerate_queries_do_not_mutate_state(self, engine):
+        baseline = engine.search("acme")
+        engine.search("!!!")
+        engine.search("", top_k=0)
+        assert engine.search("acme") == baseline
+
+
 class TestSmartQueriesOverSyntheticWeb(object):
     """The paper's queries behave sensibly over a real generated web."""
 

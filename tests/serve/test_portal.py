@@ -1,0 +1,292 @@
+"""AlertPortal: the query path, overload degradation, subscriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    derive_gauges,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.tracer import Tracer
+from repro.gather.store import DocumentStore, StoredDocument
+from repro.serve import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_STALE,
+    AdmissionController,
+    AlertPortal,
+    QueryCache,
+)
+
+
+def build_store(n: int = 20) -> DocumentStore:
+    store = DocumentStore()
+    for i in range(n):
+        store.add(StoredDocument(
+            doc_id=f"doc-{i:03d}",
+            url=f"http://news-{i % 3}.example/{i}",
+            title=f"story {i}",
+            text=(f"Acme agreed to acquire Widgets unit {i} in a "
+                  f"merger worth millions"),
+        ))
+    return store
+
+
+@pytest.fixture
+def portal():
+    clock = FakeClock()
+    portal = AlertPortal(
+        build_store(),
+        n_shards=3,
+        clock=clock,
+        admission=AdmissionController(
+            rate=1000.0, burst=1000.0, max_pending=16, clock=clock
+        ),
+        cache=QueryCache(ttl=100.0, clock=clock),
+    )
+    portal.refresh()
+    yield portal
+    portal.close()
+
+
+class TestQueryPath:
+    def test_fresh_query_hits_the_index(self, portal):
+        response = portal.query("analyst-1", '"agreed to acquire"')
+        assert response.status == STATUS_OK
+        assert response.ok and not response.cached
+        assert response.generation == 1
+        assert len(response.results) == 10
+
+    def test_repeat_query_is_cached(self, portal):
+        first = portal.query("analyst-1", "merger")
+        second = portal.query("analyst-2", "merger")
+        assert not first.cached and second.cached
+        assert second.results == first.results
+
+    def test_zero_term_query_is_empty_not_an_error(self, portal):
+        response = portal.query("analyst-1", "!!!")
+        assert response.status == STATUS_OK
+        assert response.results == ()
+
+    def test_refresh_invalidates_cache(self, portal):
+        portal.query("analyst-1", "merger")
+        portal.store.add(StoredDocument(
+            doc_id="fresh", url="http://new.example/1", title="",
+            text="Globex agreed to acquire Initech in a merger",
+        ))
+        assert portal.refresh() == 2
+        response = portal.query("analyst-1", "merger")
+        assert not response.cached  # old generation entry dropped
+        assert response.generation == 2
+
+    def test_deadline_in_the_past(self, portal):
+        response = portal.query(
+            "analyst-1", "merger", timeout=-1.0
+        )
+        assert response.status == "deadline_exceeded"
+
+
+class TestOverload:
+    """Backpressure acceptance: Rejected values, no exceptions."""
+
+    def _overloaded_portal(self, tracer=None, stale=True):
+        clock = FakeClock()
+        portal = AlertPortal(
+            build_store(),
+            clock=clock,
+            serve_stale_on_overload=stale,
+            admission=AdmissionController(
+                rate=1000.0, burst=1000.0, max_pending=0,
+                clock=clock, tracer=tracer,
+            ),
+            cache=QueryCache(ttl=100.0, clock=clock),
+            tracer=tracer,
+        )
+        portal.refresh()
+        return portal
+
+    def test_queue_full_rejects_without_exceptions(self):
+        tracer = Tracer()
+        with self._overloaded_portal(tracer) as portal:
+            responses = [
+                portal.query("c", f"merger {i}") for i in range(25)
+            ]
+        assert all(r.status == STATUS_REJECTED for r in responses)
+        assert all(r.reason == "queue_full" for r in responses)
+        assert portal.admission.pending == 0  # no unbounded growth
+        assert tracer.registry.counters["serve.rejected"] == 25
+
+    def test_rejected_counter_reaches_prometheus_export(self):
+        tracer = Tracer()
+        with self._overloaded_portal(tracer) as portal:
+            for _ in range(5):
+                portal.query("c", "merger")
+            text = prometheus_text(
+                tracer.registry,
+                gauges=derive_gauges(tracer.registry, portal=portal),
+            )
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_serve_rejected", ())] > 0
+        assert samples[("repro_serve_rejection_rate", ())] == 1.0
+        assert samples[("repro_serve_queue_depth", ())] == 0
+
+    def test_overload_degrades_to_stale_cache(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            rate=1000.0, burst=1000.0, max_pending=16, clock=clock
+        )
+        portal = AlertPortal(
+            build_store(),
+            clock=clock,
+            admission=admission,
+            cache=QueryCache(ttl=100.0, clock=clock),
+        )
+        portal.refresh()
+        with portal:
+            warm = portal.query("c", "merger")
+            assert warm.status == STATUS_OK
+            admission.max_pending = 0  # slam the door
+            degraded = portal.query("c", "merger")
+            assert degraded.status == STATUS_STALE
+            assert degraded.results == warm.results
+            assert degraded.reason == "queue_full"
+            # An uncached query under the same overload is rejected.
+            cold = portal.query("c", "unseen terms")
+            assert cold.status == STATUS_REJECTED
+
+    def test_rejection_events_recorded(self):
+        log = EventLog()
+        clock = FakeClock()
+        portal = AlertPortal(
+            build_store(),
+            clock=clock,
+            admission=AdmissionController(
+                rate=1000.0, burst=1000.0, max_pending=0, clock=clock
+            ),
+            event_log=log,
+        )
+        portal.refresh()
+        with portal:
+            portal.query("tenant-9", "merger")
+        [event] = log.events("query_rejected")
+        assert event.payload == {
+            "client_id": "tenant-9", "reason": "queue_full",
+        }
+
+
+class TestSubscriptions:
+    def test_filtering_and_exactly_once_delivery(self):
+        """End to end: pump() drains AlertService into subscriptions."""
+        from repro.core.alerts import AlertService
+        from repro.core.etap import Etap, EtapConfig
+        from repro.corpus.evolve import WebEvolver
+        from repro.corpus.generator import CorpusConfig
+        from repro.corpus.web import build_web
+
+        web = build_web(300, CorpusConfig(seed=23))
+        etap = Etap.from_web(
+            web,
+            config=EtapConfig(
+                top_k_per_query=50, negative_sample_size=600
+            ),
+        )
+        etap.gather()
+        etap.train()
+        service = AlertService(etap, threshold=0.2)
+        portal = AlertPortal(etap.store, alert_service=service)
+        portal.refresh()
+        with portal:
+            everything = portal.subscribe("generalist")
+            ma_only = portal.subscribe(
+                "ma-desk", drivers=("mergers_acquisitions",)
+            )
+            WebEvolver(web, CorpusConfig(seed=24)).advance(40)
+            portal.pump()
+            all_alerts = portal.poll_alerts(everything)
+            ma_alerts = portal.poll_alerts(ma_only)
+            assert all_alerts  # the evolved web produced alerts
+            assert {a.driver_id for a in ma_alerts} <= {
+                "mergers_acquisitions"
+            }
+            assert len(ma_alerts) <= len(all_alerts)
+            # Re-poll: nothing new, nothing duplicated.
+            assert portal.poll_alerts(everything) == []
+            # Republishing the same alerts is idempotent.
+            assert portal.publish(all_alerts) == 0
+            assert portal.poll_alerts(everything) == []
+
+    def test_company_filter(self):
+        from repro.core.alerts import Alert
+        from repro.core.ranking import TriggerEvent
+        from repro.core.training import AnnotatedSnippet
+        from repro.core.snippets import Snippet
+        from repro.text.annotator import AnnotatedText
+
+        def alert(alert_id, companies):
+            snippet = Snippet(
+                doc_id=alert_id, index=0, sentences=("t.",)
+            )
+            item = AnnotatedSnippet(
+                snippet=snippet,
+                annotated=AnnotatedText(
+                    text="t.", tokens=(), entities=()
+                ),
+            )
+            return Alert(
+                cycle=1, driver_id="mergers_acquisitions",
+                alert_id=alert_id,
+                event=TriggerEvent(
+                    driver_id="mergers_acquisitions", item=item,
+                    score=0.9, companies=companies,
+                ),
+            )
+
+        portal = AlertPortal(build_store(2))
+        portal.refresh()
+        with portal:
+            acme_desk = portal.subscribe(
+                "acme-watcher", companies=("Acme",)
+            )
+            portal.publish([
+                alert("a1", ("acme",)),
+                alert("a2", ("globex",)),
+            ])
+            delivered = portal.poll_alerts(acme_desk)
+            assert [a.alert_id for a in delivered] == ["a1"]
+
+    def test_unknown_subscription_raises_keyerror(self):
+        portal = AlertPortal(build_store(2))
+        with portal:
+            with pytest.raises(KeyError):
+                portal.poll_alerts("sub-9999")
+
+    def test_unsubscribe(self):
+        portal = AlertPortal(build_store(2))
+        with portal:
+            sub = portal.subscribe("someone")
+            portal.unsubscribe(sub)
+            with pytest.raises(KeyError):
+                portal.poll_alerts(sub)
+
+    def test_pump_without_service_raises(self):
+        portal = AlertPortal(build_store(2))
+        with portal:
+            with pytest.raises(RuntimeError):
+                portal.pump()
+
+
+class TestStats:
+    def test_stats_snapshot(self, portal):
+        portal.query("c", "merger")
+        portal.query("c", "merger")
+        stats = portal.stats()
+        assert stats["generation"] == 1
+        assert stats["n_docs"] == 20
+        assert sum(stats["shard_docs"]) == 20
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["queue_depth"] == 0

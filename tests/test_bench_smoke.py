@@ -83,3 +83,29 @@ def test_obs_overhead_bench_at_toy_scale(tmp_path):
     # Recorder-off is the default null-object path: a single no-op
     # call, far below a microsecond.
     assert payload["null_emit_seconds_per_call"] < 5e-6
+
+
+@pytest.mark.bench_smoke
+def test_serve_bench_at_toy_scale(tmp_path):
+    """The serving bench runs end to end and its payload validates."""
+    module = _load_bench_module("bench_serve")
+    out = tmp_path / "BENCH_serve.json"
+    payload = module.measure(
+        n_docs=120, n_clients=3, n_queries=40, n_shards=2,
+        seed=7, out=out,
+    )
+    assert out.exists()
+    assert module.validate_payload(payload) == []
+    assert payload["statuses"] == {"ok": 40}
+
+
+@pytest.mark.bench_smoke
+def test_committed_serve_bench_artifact_validates():
+    """benchmarks/BENCH_serve.json must match the bench's own schema,
+    so a schema change cannot outrun the committed artifact."""
+    import json
+
+    module = _load_bench_module("bench_serve")
+    artifact = BENCHMARKS_DIR / "BENCH_serve.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
