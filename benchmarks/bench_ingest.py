@@ -1,0 +1,253 @@
+"""Ingestion throughput bench: gather -> train -> score, docs/sec.
+
+Ingestion — tokenize, POS-tag, NER, stem, vectorize, index — is the hot
+path that bounds corpus size and revisit frequency (section 3 of the
+paper: alerts are only useful while they are fresh).  This bench runs
+the full pipeline (gather + train + extract/score) over a fixed-seed
+synthetic web and reports per-stage wall time, end-to-end documents per
+second, and the annotation-engine cache statistics.
+
+``BENCH_ingest.json`` is a committed artifact holding TWO runs of the
+same fixed-seed workload:
+
+* ``baseline`` — recorded on the pre-optimization tree (the commit just
+  before the annotate-once engine landed), on the same machine;
+* ``current``  — the optimized pipeline.
+
+``speedup`` is the ratio of their ``docs_per_sec``; the tier-1 smoke
+test enforces the schema and the acceptance floors (>= 3x end-to-end,
+annotation-cache hit rate >= 0.5) against the committed file.
+
+Regenerate after an intentional perf-relevant change::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py \
+        --baseline-from benchmarks/BENCH_ingest.json
+
+which re-measures ``current`` while carrying the recorded baseline
+forward (wall-clock ratios are only meaningful within one machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+
+#: Committed artifact; regenerating it is the point of the bench.
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_ingest.json"
+
+#: The reference workload (part of the artifact's identity).
+N_DOCS = 500
+SEED = 7
+TOP_K_PER_QUERY = 60
+NEGATIVE_SAMPLE_SIZE = 1200
+
+
+def _engine_cache_stats(etap: Etap) -> dict:
+    """Aggregate cache stats from the annotation engine, if present.
+
+    The pre-PR tree has no ``text_engine``; the baseline run then
+    reports zero traffic, which is exactly right: there was no shared
+    cache to hit.
+    """
+    engine = getattr(etap, "text_engine", None)
+    if engine is None:
+        return {"hits": 0, "misses": 0, "hit_rate": 0.0}
+    stats = engine.stats()
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+def run_once(
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    workers: int = 1,
+) -> dict:
+    """One fixed-seed gather+train+score pass; returns the run payload."""
+    web = build_web(n_docs, CorpusConfig(seed=seed))
+    config = EtapConfig(
+        top_k_per_query=TOP_K_PER_QUERY,
+        negative_sample_size=NEGATIVE_SAMPLE_SIZE,
+    )
+    if hasattr(config, "workers"):
+        config.workers = workers
+    etap = Etap.from_web(web, config=config)
+
+    t0 = time.perf_counter()
+    report = etap.gather()
+    t1 = time.perf_counter()
+    etap.train()
+    t2 = time.perf_counter()
+    events = etap.extract_trigger_events()
+    t3 = time.perf_counter()
+
+    total = t3 - t0
+    n_events = sum(len(ranked) for ranked in events.values())
+    return {
+        "n_docs": n_docs,
+        "seed": seed,
+        "workers": workers,
+        "documents_stored": report.documents_stored,
+        "n_trigger_events": n_events,
+        "gather_seconds": round(t1 - t0, 4),
+        "train_seconds": round(t2 - t1, 4),
+        "score_seconds": round(t3 - t2, 4),
+        "total_seconds": round(total, 4),
+        "docs_per_sec": round(report.documents_stored / total, 2),
+        "cache": _engine_cache_stats(etap),
+    }
+
+
+def measure(
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    workers: int = 1,
+    baseline: dict | None = None,
+    out: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Run the workload and assemble the two-run artifact payload.
+
+    Without a recorded ``baseline`` the current run doubles as its own
+    baseline (speedup 1.0) — useful on a fresh machine; the committed
+    artifact always carries the true pre-PR numbers.
+    """
+    current = run_once(n_docs=n_docs, seed=seed, workers=workers)
+    baseline = baseline or dict(current)
+    speedup = (
+        current["docs_per_sec"] / baseline["docs_per_sec"]
+        if baseline["docs_per_sec"]
+        else 0.0
+    )
+    payload = {
+        "bench": "ingest",
+        "baseline": baseline,
+        "current": current,
+        "speedup": round(speedup, 2),
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return payload
+
+
+#: Schema floor for BENCH_ingest.json; the tier-1 smoke test enforces it.
+REQUIRED_RUN_KEYS = frozenset(
+    {
+        "n_docs", "seed", "workers", "documents_stored",
+        "n_trigger_events", "gather_seconds", "train_seconds",
+        "score_seconds", "total_seconds", "docs_per_sec", "cache",
+    }
+)
+REQUIRED_KEYS = frozenset({"bench", "baseline", "current", "speedup"})
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema-check a BENCH_ingest payload; returns human errors."""
+    errors = [
+        f"missing key {key!r}"
+        for key in sorted(REQUIRED_KEYS - set(payload))
+    ]
+    if errors:
+        return errors
+    if payload["bench"] != "ingest":
+        errors.append(f"bench is {payload['bench']!r}, not 'ingest'")
+    for name in ("baseline", "current"):
+        run = payload[name]
+        if not isinstance(run, dict):
+            errors.append(f"{name} must be a run payload")
+            continue
+        errors.extend(
+            f"{name}: missing key {key!r}"
+            for key in sorted(REQUIRED_RUN_KEYS - set(run))
+        )
+        if errors:
+            continue
+        for key in (
+            "gather_seconds", "train_seconds", "score_seconds",
+            "total_seconds", "docs_per_sec",
+        ):
+            if not isinstance(run[key], (int, float)) or run[key] < 0:
+                errors.append(f"{name}.{key} must be non-negative")
+        cache = run["cache"]
+        if not isinstance(cache, dict) or not {
+            "hits", "misses", "hit_rate"
+        } <= set(cache):
+            errors.append(f"{name}.cache must carry hits/misses/hit_rate")
+        elif not 0.0 <= cache["hit_rate"] <= 1.0:
+            errors.append(f"{name}.cache.hit_rate must be in [0, 1]")
+        if run["documents_stored"] <= 0:
+            errors.append(f"{name}.documents_stored must be positive")
+        if run["n_trigger_events"] <= 0:
+            errors.append(f"{name} found no trigger events (vacuous run)")
+    if not isinstance(payload["speedup"], (int, float)):
+        errors.append("speedup must be a number")
+    return errors
+
+
+def bench_ingest_pipeline(benchmark):
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1)
+    current = payload["current"]
+    print(f"\ningest: {current['docs_per_sec']:.1f} docs/sec  "
+          f"(gather {current['gather_seconds']:.2f}s  "
+          f"train {current['train_seconds']:.2f}s  "
+          f"score {current['score_seconds']:.2f}s)  "
+          f"cache hit rate {current['cache']['hit_rate']:.2f}  "
+          f"speedup {payload['speedup']:.2f}x")
+    benchmark.extra_info.update(payload)
+    assert not validate_payload(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record-baseline", metavar="FILE", default=None,
+        help="run once and write the bare run payload to FILE "
+             "(captured on the pre-optimization tree)",
+    )
+    parser.add_argument(
+        "--baseline-from", metavar="FILE", default=None,
+        help="carry the baseline run forward from an existing "
+             "BENCH_ingest.json (or bare run payload) while "
+             "re-measuring the current tree",
+    )
+    parser.add_argument("--docs", type=int, default=N_DOCS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    if args.record_baseline:
+        run = run_once(
+            n_docs=args.docs, seed=args.seed, workers=args.workers
+        )
+        Path(args.record_baseline).write_text(
+            json.dumps(run, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(json.dumps(run, indent=2, sort_keys=True))
+        return
+
+    baseline = None
+    if args.baseline_from:
+        recorded = json.loads(
+            Path(args.baseline_from).read_text(encoding="utf-8")
+        )
+        baseline = recorded.get("baseline", recorded)
+    payload = measure(
+        n_docs=args.docs, seed=args.seed, workers=args.workers,
+        baseline=baseline,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

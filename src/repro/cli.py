@@ -138,6 +138,7 @@ def _config_from_args(args: argparse.Namespace) -> EtapConfig:
     return EtapConfig(
         top_k_per_query=getattr(args, "top_k", 200),
         negative_sample_size=getattr(args, "negatives", 6000),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -149,7 +150,8 @@ def cmd_gather(args: argparse.Namespace) -> int:
         build_web(args.docs, CorpusConfig(seed=args.seed)), args
     )
     etap = Etap.from_web(
-        web, tracer=_tracer(args), event_log=_event_log(args)
+        web, config=EtapConfig(workers=args.workers),
+        tracer=_tracer(args), event_log=_event_log(args),
     )
     report = etap.gather()
     etap.store.save_jsonl(workspace / STORE_FILE)
@@ -328,6 +330,12 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     fault_profile = getattr(args, "fault_profile", "none")
     if fault_profile != "none":
         spec = dataclasses.replace(spec, fault_profile=fault_profile)
+    workers = getattr(args, "workers", 1)
+    if workers != 1:
+        spec = dataclasses.replace(
+            spec,
+            config=dataclasses.replace(spec.config, workers=workers),
+        )
     path = write_report(args.out, spec=spec)
     print(f"wrote reproduction report -> {path}")
     return 0
@@ -419,7 +427,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         build_web(args.docs, CorpusConfig(seed=args.seed)), args
     )
     etap = Etap.from_web(
-        web, tracer=tracer, event_log=_event_log(args)
+        web, config=EtapConfig(workers=args.workers),
+        tracer=tracer, event_log=_event_log(args),
     )
     report = etap.gather()
     note = _degradation_note(report)
@@ -528,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
     gather.add_argument("--workspace", required=True)
     gather.add_argument("--docs", type=int, default=1500)
     gather.add_argument("--seed", type=int, default=7)
+    gather.add_argument(
+        "--workers", type=int, default=1,
+        help="annotation warm-up threads; output is bit-identical "
+             "for any value (see docs/PERFORMANCE.md)",
+    )
     gather.set_defaults(func=cmd_gather)
 
     train = sub.add_parser("train", parents=[profiled],
@@ -592,6 +606,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["small", "full"], default="small",
         help="corpus scale: 'full' matches the paper's test counts",
     )
+    reproduce.add_argument(
+        "--workers", type=int, default=1,
+        help="annotation warm-up threads; the report is bit-identical "
+             "for any value",
+    )
     reproduce.set_defaults(func=cmd_reproduce)
 
     serve = sub.add_parser(
@@ -608,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent closed-loop client threads")
     serve.add_argument("--shards", type=int, default=4,
                        help="index shards (doc-id hash partitioned)")
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="annotation warm-up threads during gathering; served "
+             "results are bit-identical for any value",
+    )
     serve.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser(

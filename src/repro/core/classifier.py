@@ -25,6 +25,7 @@ from repro.ml.noise import (
 )
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
+from repro.text.engine import AnnotationEngine
 from repro.text.stem import PorterStemmer
 
 
@@ -59,12 +60,19 @@ class TriggerEventClassifier:
         oversample_pure: int = 3,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        text_engine: AnnotationEngine | None = None,
     ) -> None:
         self.driver_id = driver_id
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
         self.policy = policy or AbstractionPolicy.paper_default()
-        self._stemmer = PorterStemmer()
+        #: Shared annotate-once engine: feature abstraction is cached
+        #: per (snippet content, policy), so a bank of per-driver
+        #: classifiers abstracts each snippet once, not once per driver.
+        self.text_engine = text_engine
+        self._stemmer = (
+            text_engine.stemmer if text_engine else PorterStemmer()
+        )
         self.vectorizer = Vectorizer(
             vectorizer_config or VectorizerConfig(min_df=2)
         )
@@ -83,6 +91,10 @@ class TriggerEventClassifier:
     # -- features ----------------------------------------------------------
 
     def features_of(self, item: AnnotatedSnippet) -> list[str]:
+        if self.text_engine is not None:
+            return self.text_engine.features(
+                item.annotated.text, item.annotated, self.policy
+            )
         return abstract_tokens(
             item.annotated, self.policy, stemmer=self._stemmer
         )
@@ -210,17 +222,18 @@ class TriggerEventClassifier:
         weights = self._feature_weights()
         if weights is None:
             return []
-        X = self.vectorizer.transform([self.features_of(item)])
-        row = np.asarray(X.todense()).ravel()
-        contributions = row * weights
-        nonzero = np.flatnonzero(contributions)
-        if nonzero.size == 0:
+        # Stay sparse: one snippet touches a handful of features, so
+        # contributions are computed over the CSR row's nonzeros only.
+        X = self.vectorizer.transform([self.features_of(item)]).tocsr()
+        columns = X.indices
+        contributions = X.data * weights[columns]
+        present = contributions != 0
+        if not present.any():
             return []
-        ranked = nonzero[
-            np.argsort(-np.abs(contributions[nonzero]), kind="stable")
-        ][:top_n]
+        columns = columns[present]
+        contributions = contributions[present]
+        ranked = np.argsort(-np.abs(contributions), kind="stable")[:top_n]
         names = self.vectorizer.feature_names()
         return [
-            (names[index], float(contributions[index]))
-            for index in ranked
+            (names[columns[i]], float(contributions[i])) for i in ranked
         ]

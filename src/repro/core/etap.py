@@ -58,7 +58,7 @@ from repro.obs.drift import DriftBaseline, DriftMonitor, DriftThresholds
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
-from repro.text.annotator import Annotator
+from repro.text.engine import AnnotationEngine
 from repro.text.ner import NerConfig
 
 
@@ -83,6 +83,10 @@ class EtapConfig:
     )
     #: How many snippets per extraction feed the OOV drift monitor.
     drift_token_sample: int = 500
+    #: Ingestion fan-out width (``--workers`` on the CLI).  Workers
+    #: warm the shared annotation cache concurrently; results are
+    #: bit-identical to ``workers=1``.
+    workers: int = 1
 
 
 class Etap:
@@ -97,6 +101,7 @@ class Etap:
         web: SyntheticWeb | None = None,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        text_engine: AnnotationEngine | None = None,
     ) -> None:
         self.config = config or EtapConfig()
         self.drivers = list(drivers) if drivers else builtin_drivers()
@@ -109,15 +114,23 @@ class Etap:
             engine.tracer = self.tracer
         if engine.event_log is NULL_EVENT_LOG:
             engine.event_log = self.event_log
-        self.annotator = Annotator(self.config.ner)
+        #: The annotate-once engine shared by every stage: gathering,
+        #: training, extraction and serve rebuilds all read annotations,
+        #: sentence splits, index terms and abstracted features from its
+        #: content-keyed caches instead of recomputing them per stage.
+        self.text_engine = text_engine or AnnotationEngine(self.config.ner)
+        self.annotator = self.text_engine.annotator
+        if engine.text_engine is None:
+            engine.text_engine = self.text_engine
         self.training = TrainingDataGenerator(
             store=store,
             engine=engine,
-            annotator=self.annotator,
             snippet_generator=SnippetGenerator(
-                window=self.config.snippet_window
+                window=self.config.snippet_window,
+                splitter=self.text_engine.sentences,
             ),
             tracer=self.tracer,
+            text_engine=self.text_engine,
         )
         self.normalizer = CompanyNormalizer()
         self.classifiers: dict[str, TriggerEventClassifier] = {}
@@ -145,12 +158,15 @@ class Etap:
         pipeline degrades gracefully instead of crashing.
         """
         config = config or EtapConfig()
+        text_engine = AnnotationEngine(config.ner)
         gatherer = DataGatherer(
             web,
             max_pages=config.max_crawl_pages,
             tracer=tracer,
             event_log=event_log,
             fetcher=fetcher,
+            text_engine=text_engine,
+            workers=config.workers,
         )
         etap = cls(
             store=gatherer.store,
@@ -160,6 +176,7 @@ class Etap:
             web=web,
             tracer=tracer,
             event_log=event_log,
+            text_engine=text_engine,
         )
         etap._gatherer = gatherer
         return etap
@@ -205,6 +222,7 @@ class Etap:
                     oversample_pure=self.config.oversample_pure,
                     tracer=self.tracer,
                     event_log=self.event_log,
+                    text_engine=self.text_engine,
                 )
                 classifier.fit(
                     noisy_positive=noisy,

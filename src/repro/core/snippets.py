@@ -13,6 +13,7 @@ evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.corpus.generator import Document
 from repro.text.sentences import split_sentence_texts
@@ -49,20 +50,32 @@ class SnippetGenerator:
     yields the paper's disjoint groups, ``stride < window`` yields
     overlapping windows.  A trailing group shorter than ``window`` is
     kept — dropping it would lose trigger events near document ends.
+
+    ``splitter`` is the sentence-splitting hook used by
+    :meth:`from_text`; pass
+    :meth:`repro.text.engine.AnnotationEngine.sentences` to reuse the
+    pipeline-wide annotate-once cache instead of re-splitting the same
+    document on every call.
     """
 
-    def __init__(self, window: int = 3, stride: int | None = None) -> None:
+    def __init__(
+        self,
+        window: int = 3,
+        stride: int | None = None,
+        splitter: Callable[[str], Sequence[str]] | None = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
         self.stride = stride if stride is not None else window
         if self.stride <= 0:
             raise ValueError("stride must be positive")
+        self.splitter = splitter or split_sentence_texts
 
     def from_sentences(
         self,
         doc_id: str,
-        sentences: list[str],
+        sentences: Sequence[str],
         labels: list[str | None] | None = None,
     ) -> list[Snippet]:
         """Window a pre-split sentence list into snippets."""
@@ -96,7 +109,7 @@ class SnippetGenerator:
 
     def from_text(self, doc_id: str, text: str) -> list[Snippet]:
         """Chunk raw text with the sentence chunker, then window it."""
-        return self.from_sentences(doc_id, split_sentence_texts(text))
+        return self.from_sentences(doc_id, self.splitter(text))
 
     def from_document(self, document: Document) -> list[Snippet]:
         """Window a generated document, carrying ground-truth labels."""

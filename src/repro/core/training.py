@@ -24,6 +24,7 @@ from repro.gather.store import DocumentStore
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
 from repro.text.annotator import AnnotatedText, Annotator
+from repro.text.engine import AnnotationEngine
 
 
 @dataclass(frozen=True)
@@ -61,17 +62,35 @@ class TrainingDataGenerator:
         annotator: Annotator | None = None,
         snippet_generator: SnippetGenerator | None = None,
         tracer: AnyTracer | None = None,
+        text_engine: AnnotationEngine | None = None,
     ) -> None:
         self.store = store
         self.engine = engine
-        self.annotator = annotator or Annotator()
-        self.snippets = snippet_generator or SnippetGenerator()
+        self.text_engine = text_engine
+        if annotator is not None:
+            self.annotator = annotator
+        elif text_engine is not None:
+            self.annotator = text_engine.annotator
+        else:
+            self.annotator = Annotator()
+        self.snippets = snippet_generator or SnippetGenerator(
+            splitter=text_engine.sentences if text_engine else None
+        )
         self.tracer = tracer or NULL_TRACER
         self._annotation_cache: dict[str, AnnotatedText] = {}
+        self._snippet_cache: dict[str, list[Snippet]] = {}
 
     # -- shared plumbing ------------------------------------------------------
 
     def _annotate(self, snippet: Snippet) -> AnnotatedSnippet:
+        """Annotate once: the engine caches by content across stages.
+
+        Without an engine (standalone use) fall back to the local
+        per-snippet-id memo this generator always had.
+        """
+        if self.text_engine is not None:
+            annotated = self.text_engine.annotate(snippet.text)
+            return AnnotatedSnippet(snippet=snippet, annotated=annotated)
         cached = self._annotation_cache.get(snippet.snippet_id)
         if cached is None:
             cached = self.annotator.annotate(snippet.text)
@@ -79,8 +98,19 @@ class TrainingDataGenerator:
         return AnnotatedSnippet(snippet=snippet, annotated=cached)
 
     def snippets_of_document(self, doc_id: str) -> list[Snippet]:
-        document = self.store.get(doc_id)
-        return self.snippets.from_text(doc_id, document.text)
+        """Window one stored document (memoized; snippets are frozen).
+
+        Document text behind a ``doc_id`` never changes (the store
+        dedups by content), so the windowing is a pure function of the
+        id and safe to memoize.  The negative sampler alone hits each
+        popular document many times.
+        """
+        cached = self._snippet_cache.get(doc_id)
+        if cached is None:
+            document = self.store.get(doc_id)
+            cached = self.snippets.from_text(doc_id, document.text)
+            self._snippet_cache[doc_id] = cached
+        return cached
 
     # -- noisy positives (section 3.3.1) --------------------------------------
 

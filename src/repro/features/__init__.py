@@ -8,6 +8,7 @@ from repro.features.abstraction import (
     iv_pairs,
     pa_pairs,
 )
+from repro.features.batch import batch_transform, joint_counts_from_matrix
 from repro.features.rig import (
     conditional_entropy,
     entropy,
@@ -33,12 +34,14 @@ __all__ = [
     "Vectorizer",
     "VectorizerConfig",
     "abstract_tokens",
+    "batch_transform",
     "chi_square_scores",
     "conditional_entropy",
     "entropy",
     "information_gain",
     "information_gain_scores",
     "iv_pairs",
+    "joint_counts_from_matrix",
     "joint_from_pairs",
     "marginal_y",
     "mutual_information_scores",

@@ -175,6 +175,11 @@ class AbstractionPolicy:
 _DROPPED_POS = frozenset({"punct", "sym", "dt", "in", "prp", "cc", "to", "md"})
 
 
+#: Placeholder strings per category, built once — the f-string format
+#: used to run once per abstracted token.
+_PLACEHOLDERS: dict[str, str] = {}
+
+
 def abstract_tokens(
     annotated: AnnotatedText,
     policy: AbstractionPolicy,
@@ -184,20 +189,27 @@ def abstract_tokens(
     stemmer = stemmer or PorterStemmer()
     features: list[str] = []
     previous_placeholder: str | None = None
+    abstract_categories = policy.abstract_categories
+    stem = stemmer.stem
     for token in annotated.tokens:
-        category = token.category
-        if token.entity is not None and category in policy.abstract_categories:
-            placeholder = policy.placeholder(category)
+        entity = token.entity
+        if entity is not None and entity in abstract_categories:
+            placeholder = _PLACEHOLDERS.get(entity)
+            if placeholder is None:
+                placeholder = policy.placeholder(entity)
+                _PLACEHOLDERS[entity] = placeholder
             # A multi-token entity yields one placeholder, not one per token.
             if placeholder != previous_placeholder:
                 features.append(placeholder)
             previous_placeholder = placeholder
             continue
         previous_placeholder = None
-        if token.entity is None and token.pos in _DROPPED_POS:
+        if entity is None and token.pos in _DROPPED_POS:
             continue
         word = token.text.lower()
-        if is_stopword(word) or not any(ch.isalnum() for ch in word):
+        if is_stopword(word):
             continue
-        features.append(stemmer.stem(word))
+        if not word[0].isalnum() and not any(ch.isalnum() for ch in word):
+            continue
+        features.append(stem(word))
     return features

@@ -9,12 +9,14 @@ are ignored, the standard open-vocabulary behaviour.
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 from scipy import sparse
+
+from repro.features.batch import batch_transform
 
 
 @dataclass(frozen=True)
@@ -80,8 +82,12 @@ class Vectorizer:
         kept.sort(key=lambda item: (-item[1], item[0]))
         if self.config.max_features is not None:
             kept = kept[: self.config.max_features]
+        # Feature names are interned: every abstracted token list holds
+        # the same handful of category strings thousands of times, so
+        # vocabulary probes become pointer comparisons and the strings
+        # are stored once process-wide.
         self.vocabulary = {
-            feature: index
+            sys.intern(feature): index
             for index, (feature, _) in enumerate(sorted(kept))
         }
         self._fitted = True
@@ -90,26 +96,21 @@ class Vectorizer:
     def transform(
         self, documents: Sequence[Sequence[str]]
     ) -> sparse.csr_matrix:
-        """Map token lists to a (n_docs, n_features) sparse matrix."""
+        """Map token lists to a (n_docs, n_features) sparse matrix.
+
+        Delegates to :func:`repro.features.batch.batch_transform`: the
+        whole batch is assembled as one flat COO triple and deduplicated
+        in C, instead of one ``Counter`` and three growing Python lists
+        per document.
+        """
         if not self._fitted:
             raise RuntimeError("vectorizer must be fit before transform")
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        for row, tokens in enumerate(documents):
-            counts = Counter(
-                self.vocabulary[token]
-                for token in self._expand(tokens)
-                if token in self.vocabulary
-            )
-            for col, count in counts.items():
-                rows.append(row)
-                cols.append(col)
-                data.append(1.0 if self.config.binary else float(count))
-        return sparse.csr_matrix(
-            (data, (rows, cols)),
-            shape=(len(documents), self.n_features),
-            dtype=np.float64,
+        lo, hi = self.config.ngram_range
+        return batch_transform(
+            documents,
+            self.vocabulary,
+            binary=self.config.binary,
+            expand=None if (lo, hi) == (1, 1) else self._expand,
         )
 
     def fit_transform(

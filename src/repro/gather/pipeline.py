@@ -10,6 +10,7 @@ search index that the training-data generator later queries.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.corpus.web import SyntheticWeb
@@ -21,6 +22,7 @@ from repro.robustness.faults import FaultyWeb
 from repro.robustness.fetcher import ResilientFetcher
 from repro.search.crawler import FocusedCrawler, PageScorer, business_relevance
 from repro.search.engine import SearchEngine
+from repro.text.engine import AnnotationEngine
 
 #: Default page budget for a gathering crawl.  Shared with
 #: :class:`~repro.core.etap.EtapConfig.max_crawl_pages` so the direct
@@ -70,13 +72,25 @@ class DataGatherer:
         event_log: AnyEventLog | None = None,
         fetcher: ResilientFetcher | None = None,
         index_degraded: bool = False,
+        text_engine: AnnotationEngine | None = None,
+        workers: int = 1,
     ) -> None:
         self.web = web
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
         self.store = DocumentStore()
+        #: Shared annotate-once engine; downstream stages (training,
+        #: extraction, serve rebuilds) reuse its caches.
+        self.text_engine = text_engine
+        #: Ingestion fan-out width.  Workers pre-tokenize page texts
+        #: into the engine's content-keyed cache concurrently; the
+        #: store/index merge then runs serially in crawl order, so the
+        #: result is bit-identical to ``workers=1``.
+        self.workers = max(1, workers)
         self.engine = SearchEngine(
-            tracer=self.tracer, event_log=self.event_log
+            tracer=self.tracer,
+            event_log=self.event_log,
+            text_engine=text_engine,
         )
         # A faulty web without an explicit fetcher gets the resilient
         # path by default: transparent retries, breakers, dead letters.
@@ -116,6 +130,40 @@ class DataGatherer:
     def max_pages(self) -> int:
         return self._crawler.max_pages
 
+    def _warm_annotation_cache(self, texts: list[str]) -> None:
+        """Pre-tokenize page texts into the shared engine, fanned out.
+
+        This is the parallel half of ingestion: ``workers`` threads
+        each take a chunk of the candidate texts and populate the
+        engine's content-keyed caches.  Cache fills are order
+        independent (same content -> same entry), so the serial merge
+        that follows reads identical values regardless of worker count
+        or interleaving — parallelism changes wall time, never output.
+        """
+        if self.text_engine is None or not texts:
+            return
+        with self.tracer.span("gather.warm_cache") as span:
+            engine = self.text_engine
+            if self.workers <= 1 or len(texts) <= 1:
+                for text in texts:
+                    engine.index_terms(text)
+            else:
+                n_workers = min(self.workers, len(texts))
+                chunks: list[list[str]] = [[] for _ in range(n_workers)]
+                for i, text in enumerate(texts):
+                    chunks[i % n_workers].append(text)
+
+                def warm(chunk: list[str]) -> None:
+                    for text in chunk:
+                        engine.index_terms(text)
+
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    # list() propagates any worker exception here.
+                    list(pool.map(warm, chunks))
+            span.add_items(len(texts))
+        self.tracer.count("ingest.warm_texts", len(texts))
+        self.tracer.count("ingest.warm_workers", min(self.workers, len(texts)))
+
     def gather(self) -> GatherReport:
         """Run the crawl and populate store and index.
 
@@ -125,6 +173,17 @@ class DataGatherer:
         """
         with self.tracer.span("gather") as gather_span:
             crawl = self._crawler.crawl()
+            self._warm_annotation_cache(
+                [
+                    page.text
+                    for page in crawl.pages
+                    if page.document is not None
+                    and (
+                        self.index_degraded
+                        or page.url not in crawl.degraded_urls
+                    )
+                ]
+            )
             stored = 0
             skipped = 0
             near_skipped = 0
@@ -198,6 +257,11 @@ class DataGatherer:
             self.tracer.count(
                 "gather.degraded_skipped", degraded_skipped
             )
+            self.tracer.count("ingest.documents_indexed", stored)
+            if self.text_engine is not None:
+                stats = self.text_engine.stats()
+                self.tracer.count("ingest.cache_hits", stats.hits)
+                self.tracer.count("ingest.cache_misses", stats.misses)
         crawl_seconds = next(
             (
                 child.duration

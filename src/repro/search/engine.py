@@ -21,6 +21,7 @@ from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.index import InvertedIndex, normalize_term
 from repro.search.scoring import Bm25, RankingFunction
+from repro.text.engine import AnnotationEngine
 from repro.text.tokenizer import tokenize_words
 
 _PHRASE_RE = re.compile(r'"([^"]+)"')
@@ -77,16 +78,42 @@ class SearchEngine:
         phrase_boost: float = 2.0,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        text_engine: AnnotationEngine | None = None,
     ) -> None:
         self.index = index or InvertedIndex()
         self.ranking = ranking or Bm25()
         self.phrase_boost = phrase_boost
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        #: Shared annotate-once engine: index terms come from its
+        #: content-keyed cache, so a document tokenized anywhere in the
+        #: pipeline is never re-tokenized when it reaches the index.
+        self.text_engine = text_engine
 
     def add_document(self, doc_key: str, text: str, title: str = "") -> None:
-        self.index.add_document(doc_key, text, title)
+        terms = (
+            self.text_engine.index_terms(text)
+            if self.text_engine is not None
+            else None
+        )
+        self.index.add_document(doc_key, text, title, terms=terms)
         self.tracer.count("engine.documents_indexed")
+
+    def clone(self) -> "SearchEngine":
+        """A search engine over a :meth:`InvertedIndex.clone` of the index.
+
+        Ranking, boosts and the shared text engine carry over; the
+        clone's index can be extended or pruned without touching this
+        engine (the serve layer builds delta generations this way).
+        """
+        return SearchEngine(
+            index=self.index.clone(),
+            ranking=self.ranking,
+            phrase_boost=self.phrase_boost,
+            tracer=self.tracer,
+            event_log=self.event_log,
+            text_engine=self.text_engine,
+        )
 
     def search(self, query: str, top_k: int = 10) -> list[SearchResult]:
         """Run ``query`` and return the ``top_k`` ranked results.

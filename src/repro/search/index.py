@@ -4,14 +4,36 @@ The index stores, per term, a postings list of ``(doc_key, positions)``
 so the engine can answer both ranked bag-of-words queries and exact
 phrase queries (the paper's *smart queries* such as ``"new ceo"`` and
 ``"IBM Daksh"`` are phrase queries).
+
+Ingestion-path design (the continuous-monitoring hot loop):
+
+* **array-backed postings** — token positions live in compact
+  ``array('I')`` buffers, not lists of boxed ints;
+* **delta document addition** — the index keeps a per-document term
+  registry, so removing or replacing one document touches only that
+  document's terms instead of scanning the whole vocabulary;
+* **batched rebuild** — :meth:`add_documents` /
+  :meth:`from_documents` ingest ``(doc_key, text, title)`` triples in
+  one pass, and :meth:`clone` makes a cheap copy-on-write-style
+  duplicate (shared immutable postings) so the serve layer can build
+  the next index generation from the previous one plus a delta rather
+  than re-tokenizing the corpus (see
+  :class:`repro.serve.shards.ShardedIndex`).
+
+Tokenization can be delegated to a shared
+:class:`~repro.text.engine.AnnotationEngine` by passing precomputed
+``terms`` to :meth:`add_document`; the engine guarantees each document
+is tokenized at most once across gather, serve and rebuild.
 """
 
 from __future__ import annotations
 
 import json
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.text.tokenizer import tokenize_words
 
@@ -21,12 +43,25 @@ def normalize_term(term: str) -> str:
     return term.lower()
 
 
+def _positions_array() -> "array[int]":
+    return array("I")
+
+
 @dataclass
 class Posting:
-    """Occurrences of one term in one document."""
+    """Occurrences of one term in one document.
+
+    ``positions`` is an unsigned-int array; it is append-only while the
+    owning document is being indexed and immutable afterwards (clones
+    share it).
+    """
 
     doc_key: str
-    positions: list[int] = field(default_factory=list)
+    positions: "array[int]" = field(default_factory=_positions_array)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.positions, array):
+            self.positions = array("I", self.positions)
 
     @property
     def term_frequency(self) -> int:
@@ -40,37 +75,116 @@ class InvertedIndex:
         self._postings: dict[str, dict[str, Posting]] = defaultdict(dict)
         self._doc_lengths: dict[str, int] = {}
         self._titles: dict[str, str] = {}
+        #: Distinct terms per document — the delta-removal registry:
+        #: dropping a document touches exactly these postings rather
+        #: than every term in the vocabulary.
+        self._doc_terms: dict[str, tuple[str, ...]] = {}
 
     # -- construction --------------------------------------------------------
 
-    def add_document(self, doc_key: str, text: str, title: str = "") -> None:
-        """Index one document; re-adding a key replaces it."""
+    def add_document(
+        self,
+        doc_key: str,
+        text: str,
+        title: str = "",
+        terms: Sequence[str] | None = None,
+    ) -> None:
+        """Index one document; re-adding a key replaces it.
+
+        ``terms`` are pre-normalized index terms (e.g. from the shared
+        annotation engine); when omitted the text is tokenized here.
+        """
         if doc_key in self._doc_lengths:
             self.remove_document(doc_key)
-        terms = [normalize_term(word) for word in tokenize_words(text)]
+        if terms is None:
+            terms = [word.lower() for word in tokenize_words(text)]
         self._doc_lengths[doc_key] = len(terms)
         self._titles[doc_key] = title
+        postings = self._postings
+        doc_postings: dict[str, Posting] = {}
         for position, term in enumerate(terms):
-            per_doc = self._postings[term]
-            posting = per_doc.get(doc_key)
+            posting = doc_postings.get(term)
             if posting is None:
                 posting = Posting(doc_key)
-                per_doc[doc_key] = posting
+                doc_postings[term] = posting
+                postings[term][doc_key] = posting
             posting.positions.append(position)
+        self._doc_terms[doc_key] = tuple(doc_postings)
+
+    def add_documents(
+        self,
+        documents: Iterable[tuple[str, str, str]],
+        terms_of=None,
+    ) -> int:
+        """Batch-ingest ``(doc_key, text, title)`` triples.
+
+        ``terms_of`` is an optional ``text -> terms`` callable (the
+        annotation engine's ``index_terms``) applied per document.
+        Returns the number of documents added.
+        """
+        n_added = 0
+        for doc_key, text, title in documents:
+            self.add_document(
+                doc_key,
+                text,
+                title,
+                terms=terms_of(text) if terms_of is not None else None,
+            )
+            n_added += 1
+        return n_added
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[tuple[str, str, str]],
+        terms_of=None,
+    ) -> "InvertedIndex":
+        """Batched rebuild: a fresh index over the given documents."""
+        index = cls()
+        index.add_documents(documents, terms_of=terms_of)
+        return index
 
     def remove_document(self, doc_key: str) -> None:
-        """Drop one document from the index (no-op if absent)."""
+        """Drop one document from the index (no-op if absent).
+
+        Cost is proportional to the document's own vocabulary, not the
+        index's — the per-document term registry remembers exactly
+        which postings to touch.
+        """
         if doc_key not in self._doc_lengths:
             return
         del self._doc_lengths[doc_key]
         self._titles.pop(doc_key, None)
-        empty_terms = []
-        for term, per_doc in self._postings.items():
+        postings = self._postings
+        for term in self._doc_terms.pop(doc_key, ()):
+            per_doc = postings.get(term)
+            if per_doc is None:
+                continue
             per_doc.pop(doc_key, None)
             if not per_doc:
-                empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+                del postings[term]
+
+    def clone(self) -> "InvertedIndex":
+        """A structurally independent copy sharing immutable postings.
+
+        The two-level postings mapping is copied (so adds/removes on
+        either index never affect the other) while the per-(term, doc)
+        :class:`Posting` objects — immutable once their document is
+        indexed — are shared.  This makes "previous generation + delta"
+        index builds cheap: no re-tokenization, no position copying.
+        """
+        twin = InvertedIndex()
+        twin._postings = defaultdict(
+            dict,
+            {
+                term: dict(per_doc)
+                for term, per_doc in self._postings.items()
+            },
+        )
+        twin._doc_lengths = dict(self._doc_lengths)
+        twin._titles = dict(self._titles)
+        twin._doc_terms = dict(self._doc_terms)
+        return twin
 
     # -- statistics ------------------------------------------------------------
 
@@ -100,6 +214,9 @@ class InvertedIndex:
     def doc_keys(self) -> list[str]:
         return list(self._doc_lengths)
 
+    def __contains__(self, doc_key: str) -> bool:
+        return doc_key in self._doc_lengths
+
     # -- lookups ------------------------------------------------------------
 
     def postings(self, term: str) -> dict[str, Posting]:
@@ -115,7 +232,7 @@ class InvertedIndex:
             "titles": self._titles,
             "postings": {
                 term: {
-                    doc_key: posting.positions
+                    doc_key: list(posting.positions)
                     for doc_key, posting in per_doc.items()
                 }
                 for term, per_doc in self._postings.items()
@@ -130,11 +247,17 @@ class InvertedIndex:
         index = cls()
         index._doc_lengths = dict(record["doc_lengths"])
         index._titles = dict(record["titles"])
+        doc_terms: dict[str, list[str]] = defaultdict(list)
         for term, per_doc in record["postings"].items():
             index._postings[term] = {
-                doc_key: Posting(doc_key, list(positions))
+                doc_key: Posting(doc_key, array("I", positions))
                 for doc_key, positions in per_doc.items()
             }
+            for doc_key in per_doc:
+                doc_terms[doc_key].append(term)
+        index._doc_terms = {
+            doc_key: tuple(terms) for doc_key, terms in doc_terms.items()
+        }
         return index
 
     def phrase_docs(self, phrase: list[str]) -> dict[str, int]:

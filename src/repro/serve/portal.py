@@ -101,6 +101,7 @@ class AlertPortal:
         clock=None,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        text_engine=None,
     ) -> None:
         self.store = store
         self.alert_service = alert_service
@@ -112,7 +113,11 @@ class AlertPortal:
             n_shards=n_shards,
             tracer=self.tracer,
             event_log=self.event_log,
+            text_engine=text_engine,
         )
+        #: Doc ids present in the currently installed snapshot — what
+        #: :meth:`refresh` diffs against to index only the delta.
+        self._indexed_doc_ids: set[str] = set()
         self.cache = cache or QueryCache(clock=self.clock)
         self.admission = admission or AdmissionController(
             clock=self.clock, tracer=self.tracer
@@ -136,6 +141,9 @@ class AlertPortal:
         """Build a portal over an Etap's store (and optional service)."""
         kwargs.setdefault("tracer", etap.tracer)
         kwargs.setdefault("event_log", etap.event_log)
+        kwargs.setdefault(
+            "text_engine", getattr(etap, "text_engine", None)
+        )
         portal = cls(etap.store, alert_service=alert_service, **kwargs)
         portal.refresh()
         return portal
@@ -147,13 +155,28 @@ class AlertPortal:
         return self.shards.generation
 
     def refresh(self) -> int:
-        """Re-index the store into a new snapshot; swap atomically.
+        """Index the store into a new snapshot; swap atomically.
 
-        Queries in flight finish against the generation they started
-        on; the cache drops every older-generation entry so nothing
-        stale is ever served as fresh.  Returns the new generation.
+        Incremental by default: when the store has only *grown* since
+        the last refresh (the continuous-monitoring steady state), the
+        new generation is built with :meth:`ShardedIndex.extend` —
+        previous postings carried over, only the delta indexed.  If any
+        previously indexed document vanished from the store, falls back
+        to a full rebuild.  Either way queries in flight finish against
+        the generation they started on, and the cache drops every
+        older-generation entry so nothing stale is ever served as
+        fresh.  Returns the new generation.
         """
-        snapshot = self.shards.rebuild_from_store(self.store)
+        current_ids = set(self.store.doc_ids())
+        if self._indexed_doc_ids and self._indexed_doc_ids <= current_ids:
+            new_ids = sorted(current_ids - self._indexed_doc_ids)
+            snapshot = self.shards.extend(
+                (document.doc_id, document.text, document.title)
+                for document in map(self.store.get, new_ids)
+            )
+        else:
+            snapshot = self.shards.rebuild_from_store(self.store)
+        self._indexed_doc_ids = current_ids
         self.cache.invalidate_other_generations(snapshot.generation)
         return snapshot.generation
 

@@ -33,6 +33,7 @@ from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine, SearchResult
 from repro.search.scoring import RankingFunction
+from repro.text.engine import AnnotationEngine
 
 
 def shard_of(doc_key: str, n_shards: int) -> int:
@@ -98,6 +99,7 @@ class ShardedIndex:
         ranking_factory=None,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        text_engine: AnnotationEngine | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -108,6 +110,10 @@ class ShardedIndex:
         self.ranking_factory = ranking_factory
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        #: Shared annotate-once engine: every rebuild re-tokenizes the
+        #: same document texts, so with the pipeline's engine attached a
+        #: full rebuild is served from the content-keyed term cache.
+        self.text_engine = text_engine
         self._snapshot = _empty_snapshot()
         self._rebuild_lock = threading.Lock()
 
@@ -143,7 +149,10 @@ class ShardedIndex:
         with self._rebuild_lock:
             with self.tracer.timed("serve.rebuild_seconds"):
                 engines = tuple(
-                    SearchEngine(ranking=self._ranking())
+                    SearchEngine(
+                        ranking=self._ranking(),
+                        text_engine=self.text_engine,
+                    )
                     for _ in range(self.n_shards)
                 )
                 n_docs = 0
@@ -157,6 +166,65 @@ class ShardedIndex:
                     n_docs=n_docs,
                 )
             self._snapshot = snapshot  # the atomic swap
+        self._announce_swap(snapshot)
+        return snapshot
+
+    def extend(
+        self, documents: Iterable[tuple[str, str, str]]
+    ) -> IndexSnapshot:
+        """Delta-build the next generation: previous snapshot + new docs.
+
+        Only the shards that receive documents are cloned (via
+        :meth:`~repro.search.index.InvertedIndex.clone`, which shares
+        the immutable postings of untouched documents); shards with no
+        new documents carry over to the new generation as-is.  Readers
+        get the same tear-free swap as :meth:`rebuild` at a cost
+        proportional to the delta, not the corpus — the batched-rebuild
+        path for continuous monitoring, where each revisit adds a few
+        pages to a large standing index.
+        """
+        with self._rebuild_lock:
+            with self.tracer.timed("serve.extend_seconds"):
+                current = self._snapshot
+                by_shard: dict[int, list[tuple[str, str, str]]] = {}
+                for doc_key, text, title in documents:
+                    shard = shard_of(doc_key, self.n_shards)
+                    by_shard.setdefault(shard, []).append(
+                        (doc_key, text, title)
+                    )
+                if current.n_shards == self.n_shards:
+                    engines = list(current.engines)
+                else:
+                    # Shard-count mismatch (e.g. extending the empty
+                    # generation 0): start from fresh empty shards.
+                    engines = [
+                        SearchEngine(
+                            ranking=self._ranking(),
+                            text_engine=self.text_engine,
+                        )
+                        for _ in range(self.n_shards)
+                    ]
+                for shard, delta in by_shard.items():
+                    engine = engines[shard].clone()
+                    for doc_key, text, title in delta:
+                        engine.add_document(doc_key, text, title)
+                    engines[shard] = engine
+                snapshot = IndexSnapshot(
+                    generation=current.generation + 1,
+                    engines=tuple(engines),
+                    n_docs=sum(
+                        engine.index.n_docs for engine in engines
+                    ),
+                )
+            self._snapshot = snapshot  # the atomic swap
+        self.tracer.count(
+            "serve.docs_delta_indexed",
+            sum(len(delta) for delta in by_shard.values()),
+        )
+        self._announce_swap(snapshot)
+        return snapshot
+
+    def _announce_swap(self, snapshot: IndexSnapshot) -> None:
         self.tracer.count("serve.snapshot_swaps")
         self.event_log.emit(
             "snapshot_swapped",
@@ -164,7 +232,6 @@ class ShardedIndex:
             n_docs=snapshot.n_docs,
             n_shards=snapshot.n_shards,
         )
-        return snapshot
 
     def rebuild_from_store(self, store) -> IndexSnapshot:
         """Re-index a :class:`~repro.gather.store.DocumentStore`."""

@@ -1,6 +1,12 @@
 """Text-processing substrate: tokenizer, sentences, stemmer, POS, NER."""
 
 from repro.text.annotator import AnnotatedText, AnnotatedToken, Annotator
+from repro.text.engine import (
+    AnnotationCache,
+    AnnotationEngine,
+    CacheStats,
+    content_key,
+)
 from repro.text.normalize import normalize_crawl_text
 from repro.text.ner import (
     ENTITY_CATEGORIES,
@@ -17,7 +23,10 @@ from repro.text.tokenizer import Token, tokenize, tokenize_words
 __all__ = [
     "AnnotatedText",
     "AnnotatedToken",
+    "AnnotationCache",
+    "AnnotationEngine",
     "Annotator",
+    "CacheStats",
     "ENTITY_CATEGORIES",
     "Entity",
     "NamedEntityRecognizer",
@@ -28,6 +37,7 @@ __all__ = [
     "Sentence",
     "TaggedToken",
     "Token",
+    "content_key",
     "is_stopword",
     "normalize_crawl_text",
     "remove_stopwords",

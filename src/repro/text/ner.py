@@ -84,27 +84,38 @@ class _Gazetteer:
     def __init__(self, entries: dict[str, str], coverage: float) -> None:
         self._table: dict[tuple[str, ...], str] = {}
         self.max_len = 1
+        #: Longest entry length per first token — the dispatch table
+        #: that lets :meth:`lookup` reject the common case (a token
+        #: starting no gazetteer entry) with one dict probe instead of
+        #: ``max_len`` tuple builds.
+        self._first_max: dict[str, int] = {}
         for surface, label in entries.items():
             if not _keep_entry(surface, coverage):
                 continue
             key = tuple(surface.lower().split())
             self._table[key] = label
             self.max_len = max(self.max_len, len(key))
+            first = key[0]
+            if len(key) > self._first_max.get(first, 0):
+                self._first_max[first] = len(key)
 
-    def lookup(self, tokens: list[str], index: int) -> tuple[str, int] | None:
+    def lookup(
+        self, stripped: list[str], index: int
+    ) -> tuple[str, int] | None:
         """Longest entry starting at ``index``; returns (label, length).
 
-        Tokens are matched with trailing periods stripped, so the
+        ``stripped`` are the lower-cased tokens with trailing periods
+        stripped (precomputed once per text by the caller), so the
         abbreviation token ``Corp.`` matches the gazetteer entry
         ``... Corp``.
         """
-        limit = min(self.max_len, len(tokens) - index)
+        max_len = self._first_max.get(stripped[index])
+        if max_len is None:
+            return None
+        limit = min(max_len, len(stripped) - index)
+        table = self._table
         for length in range(limit, 0, -1):
-            key = tuple(
-                token.lower().rstrip(".")
-                for token in tokens[index : index + length]
-            )
-            label = self._table.get(key)
+            label = table.get(tuple(stripped[index : index + length]))
             if label is not None:
                 return label, length
         return None
@@ -143,7 +154,19 @@ _PERIOD_PHRASES = {
     ("the", "second", "quarter"), ("the", "third", "quarter"),
 }
 
+#: First-word dispatch for the period phrases: only a handful of words
+#: can open one, so the hot path is a single dict miss.  At most one
+#: phrase can match at a given index (no phrase is a prefix of
+#: another), so grouping never changes which phrase wins.
+_PERIOD_BY_FIRST: dict[str, tuple[tuple[str, ...], ...]] = {}
+for _phrase in sorted(_PERIOD_PHRASES):
+    _PERIOD_BY_FIRST.setdefault(_phrase[0], ())
+    _PERIOD_BY_FIRST[_phrase[0]] += (_phrase,)
+del _phrase
+
 _TIME_SUFFIXES = {"am", "pm", "a.m", "p.m", "a.m.", "p.m."}
+_CURRENCY_CODES = {"usd", "eur", "gbp", "rs."}
+_CURRENCY_WORDS = {"dollars", "euros", "pounds", "rupees"}
 
 
 def _is_year(text: str) -> bool:
@@ -181,17 +204,35 @@ class NamedEntityRecognizer:
     # -- numeric / temporal shape rules ------------------------------------
 
     def _match_shape(
-        self, words: list[str], index: int
+        self, words: list[str], lowers: list[str], index: int
     ) -> tuple[str, int] | None:
         text = words[index]
-        lower = text.lower()
-        nxt = words[index + 1].lower() if index + 1 < len(words) else ""
-        nxt2 = words[index + 2].lower() if index + 2 < len(words) else ""
+        lower = lowers[index]
+        first = text[0]
 
-        if text.startswith("$") and len(text) > 1:
+        # Fast path: a plain word can only open a period phrase, and
+        # only a few first words qualify; everything below needs a
+        # leading ``$``/digit/currency-code/``%``-suffix shape.
+        if (
+            first.isalpha()
+            and lower not in _CURRENCY_CODES
+            and not text.endswith("%")
+        ):
+            phrases = _PERIOD_BY_FIRST.get(lower)
+            if phrases:
+                for phrase in phrases:
+                    span = len(phrase)
+                    if tuple(lowers[index : index + span]) == phrase:
+                        return "PERIOD", span
+            return None
+
+        nxt = lowers[index + 1] if index + 1 < len(lowers) else ""
+        nxt2 = lowers[index + 2] if index + 2 < len(lowers) else ""
+
+        if first == "$" and len(text) > 1:
             length = 2 if nxt in self._currency_units else 1
             return "CURRENCY", length
-        if lower in {"usd", "eur", "gbp", "rs."} and _is_number(nxt):
+        if lower in _CURRENCY_CODES and _is_number(nxt):
             length = 3 if nxt2 in self._currency_units else 2
             return "CURRENCY", length
         if text.endswith("%") and len(text) > 1:
@@ -199,11 +240,9 @@ class NamedEntityRecognizer:
         if _is_number(text):
             if nxt == "percent" or nxt == "%":
                 return "PRCNT", 2
-            if nxt in self._currency_units and nxt2 in {
-                "dollars", "euros", "pounds", "rupees",
-            }:
+            if nxt in self._currency_units and nxt2 in _CURRENCY_WORDS:
                 return "CURRENCY", 3
-            if nxt in {"dollars", "euros", "pounds", "rupees"}:
+            if nxt in _CURRENCY_WORDS:
                 return "CURRENCY", 2
             if (nxt,) in self._units:
                 return "LNGTH", 2
@@ -211,8 +250,8 @@ class NamedEntityRecognizer:
                 return "LNGTH", 3
             if ":" == nxt and index + 2 < len(words) and _is_number(nxt2):
                 after = (
-                    words[index + 3].lower()
-                    if index + 3 < len(words)
+                    lowers[index + 3]
+                    if index + 3 < len(lowers)
                     else ""
                 )
                 length = 4 if after in _TIME_SUFFIXES else 3
@@ -223,23 +262,25 @@ class NamedEntityRecognizer:
                 return "YEAR", 1
             return "CNT", 1
 
-        # Period phrases: "last year", "later this year", ...
-        for phrase in _PERIOD_PHRASES:
-            span = len(phrase)
-            candidate = tuple(
-                word.lower() for word in words[index : index + span]
-            )
-            if candidate == phrase:
-                return "PERIOD", span
+        phrases = _PERIOD_BY_FIRST.get(lower)
+        if phrases:
+            for phrase in phrases:
+                span = len(phrase)
+                if tuple(lowers[index : index + span]) == phrase:
+                    return "PERIOD", span
         return None
 
     # -- pattern back-off for OOV names ------------------------------------
 
     def _match_patterns(
-        self, words: list[str], index: int
+        self,
+        words: list[str],
+        lowers: list[str],
+        stripped: list[str],
+        index: int,
     ) -> tuple[str, int] | None:
         text = words[index]
-        lower = text.lower()
+        lower = lowers[index]
         # Honorific + TitleCase+ -> PRSN ("Mr. John Carter")
         if lower in self._honorifics:
             length = 1
@@ -263,11 +304,10 @@ class NamedEntityRecognizer:
             while (
                 index + length < len(words)
                 and words[index + length][:1].isupper()
-                and words[index + length].rstrip(".").isalpha()
+                and stripped[index + length].isalpha()
                 and length < 4
             ):
-                suffix = words[index + length].lower().rstrip(".")
-                if suffix in self._org_suffixes:
+                if stripped[index + length] in self._org_suffixes:
                     return "ORG", length + 1
                 length += 1
         return None
@@ -277,14 +317,21 @@ class NamedEntityRecognizer:
     def recognize_tokens(self, tokens: list[Token]) -> list[Entity]:
         """Recognize entities over a pre-tokenized text."""
         words = [token.text for token in tokens]
+        # One lower-case/strip pass up front; every matcher reads these
+        # instead of re-lowering the same token once per candidate span.
+        lowers = [word.lower() for word in words]
+        stripped = [lower.rstrip(".") for lower in lowers]
         entities: list[Entity] = []
+        pattern_backoff = self.config.pattern_backoff
+        lookup = self._gazetteer.lookup
         index = 0
-        while index < len(words):
-            match = self._gazetteer.lookup(words, index)
+        n_words = len(words)
+        while index < n_words:
+            match = lookup(stripped, index)
             if match is None:
-                match = self._match_shape(words, index)
-            if match is None and self.config.pattern_backoff:
-                match = self._match_patterns(words, index)
+                match = self._match_shape(words, lowers, index)
+            if match is None and pattern_backoff:
+                match = self._match_patterns(words, lowers, stripped, index)
             if match is None:
                 index += 1
                 continue

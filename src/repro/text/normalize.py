@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import html
 import re
-import unicodedata
 
 _QUOTE_MAP = {
     "‘": "'", "’": "'", "‚": "'", "‛": "'",
@@ -27,8 +26,34 @@ _SOFT_HYPHEN = "­"
 _ZERO_WIDTH = ("​", "‌", "‍", "﻿")
 
 _WS_RE = re.compile(r"[ \t\f\v]+")
+_NEWLINE_PAD_RE = re.compile(r" ?\n ?")
 _BLANKS_RE = re.compile(r"\n{3,}")
 _TAG_RE = re.compile(r"<[^>\n]{1,200}>")
+
+#: One translation table for the whole punctuation pass: quotes, dashes
+#: and the ellipsis map in a single C-level scan instead of one
+#: ``str.replace`` walk per character class.
+_PUNCT_TABLE = str.maketrans(
+    {**_QUOTE_MAP, **_DASH_MAP, _ELLIPSIS: "..."}
+)
+
+#: Characters :func:`remove_invisibles` deletes: soft hyphen,
+#: zero-width characters, and every Cc control char except the kept
+#: ``\n``/``\t`` (Cc is exactly U+0000-U+001F and U+007F-U+009F).
+_INVISIBLES_TABLE = str.maketrans(
+    {
+        char: None
+        for char in (
+            _SOFT_HYPHEN,
+            *_ZERO_WIDTH,
+            *(
+                chr(code)
+                for code in (*range(0x00, 0x20), *range(0x7F, 0xA0))
+                if chr(code) not in "\n\t"
+            ),
+        )
+    }
+)
 
 
 def unescape_entities(text: str) -> str:
@@ -43,29 +68,18 @@ def strip_tags(text: str) -> str:
 
 def normalize_punctuation(text: str) -> str:
     """Map typographic quotes/dashes/ellipses to ASCII equivalents."""
-    for source, target in _QUOTE_MAP.items():
-        text = text.replace(source, target)
-    for source, target in _DASH_MAP.items():
-        text = text.replace(source, target)
-    return text.replace(_ELLIPSIS, "...")
+    return text.translate(_PUNCT_TABLE)
 
 
 def remove_invisibles(text: str) -> str:
     """Drop soft hyphens, zero-width characters and control chars."""
-    text = text.replace(_SOFT_HYPHEN, "")
-    for char in _ZERO_WIDTH:
-        text = text.replace(char, "")
-    return "".join(
-        char
-        for char in text
-        if char in "\n\t" or unicodedata.category(char) != "Cc"
-    )
+    return text.translate(_INVISIBLES_TABLE)
 
 
 def collapse_whitespace(text: str) -> str:
     """Squeeze runs of spaces/tabs; cap blank-line runs at one."""
     text = _WS_RE.sub(" ", text)
-    text = re.sub(r" ?\n ?", "\n", text)
+    text = _NEWLINE_PAD_RE.sub("\n", text)
     text = _BLANKS_RE.sub("\n\n", text)
     return text.strip()
 

@@ -102,9 +102,12 @@ class TaggedToken:
 def _lexical_tag(token: Token, is_sentence_initial: bool) -> str:
     text = token.text
     lower = text.lower()
-    if not any(char.isalnum() for char in text):
+    first = text[0]
+    # First-char guard: almost every token starts alphanumeric, which
+    # settles the punct/sym question without scanning the whole token.
+    if not first.isalnum() and not any(char.isalnum() for char in text):
         return "punct" if text in ".,;:!?\"'()-" else "sym"
-    if text[0].isdigit() or (text[0] == "$" and len(text) > 1):
+    if first.isdigit() or (first == "$" and len(text) > 1):
         return "cd"
     if lower == "to":
         return "to"

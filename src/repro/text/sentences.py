@@ -29,13 +29,19 @@ class Sentence:
 
 
 _BOUNDARY_RE = re.compile(r"[.!?]+")
-_WORD_BEFORE_RE = re.compile(r"(\S+)$")
 
 
 def _word_before(text: str, index: int) -> str:
-    """Return the whitespace-delimited word ending at ``index`` (exclusive)."""
-    match = _WORD_BEFORE_RE.search(text[:index])
-    return match.group(1) if match else ""
+    """Return the whitespace-delimited word ending at ``index`` (exclusive).
+
+    Scans backwards from ``index`` instead of regex-searching a copy of
+    the whole prefix — this runs once per boundary candidate, so on
+    long documents the prefix copies used to dominate the chunker.
+    """
+    start = index
+    while start > 0 and not text[start - 1].isspace():
+        start -= 1
+    return text[start:index]
 
 
 def _is_initial(word: str) -> bool:

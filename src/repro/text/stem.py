@@ -103,27 +103,27 @@ def _step_1c(word: str) -> str:
     return word
 
 
-_STEP_2_RULES = [
+_STEP_2_RULES = (
     ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
     ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
     ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
     ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
     ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
     ("iviti", "ive"), ("biliti", "ble"),
-]
+)
 
-_STEP_3_RULES = [
+_STEP_3_RULES = (
     ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
     ("ical", "ic"), ("ful", ""), ("ness", ""),
-]
+)
 
-_STEP_4_SUFFIXES = [
+_STEP_4_SUFFIXES = (
     "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
     "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
-]
+)
 
 
-def _apply_rules(word: str, rules: list[tuple[str, str]]) -> str:
+def _apply_rules(word: str, rules: tuple[tuple[str, str], ...]) -> str:
     for suffix, replacement in rules:
         if word.endswith(suffix):
             stem = word[: len(word) - len(suffix)]

@@ -62,19 +62,40 @@ def tokenize(text: str) -> list[Token]:
     sentence chunker can treat it as a boundary candidate.
     """
     tokens: list[Token] = []
+    append = tokens.append
     for match in _TOKEN_RE.finditer(text):
         raw = match.group()
-        start = match.start()
+        start, end = match.span()
         if raw.endswith(".") and len(raw) > 1 and "." not in raw[:-1]:
             if raw.lower() not in ABBREVIATIONS:
                 word = raw[:-1]
-                tokens.append(Token(word, start, start + len(word)))
-                tokens.append(Token(".", start + len(word), match.end()))
+                split = start + len(word)
+                append(Token(word, start, split))
+                append(Token(".", split, end))
                 continue
-        tokens.append(Token(raw, start, match.end()))
+        append(Token(raw, start, end))
     return tokens
 
 
 def tokenize_words(text: str) -> list[str]:
-    """Tokenize and return only the token strings."""
-    return [token.text for token in tokenize(text)]
+    """Tokenize and return only the token strings.
+
+    Same token stream as :func:`tokenize`, minus the offset bookkeeping
+    — callers that only want strings (index terms, query parsing) skip
+    one :class:`Token` allocation per token on the ingestion hot path.
+    """
+    words: list[str] = []
+    append = words.append
+    for match in _TOKEN_RE.finditer(text):
+        raw = match.group()
+        if (
+            raw.endswith(".")
+            and len(raw) > 1
+            and "." not in raw[:-1]
+            and raw.lower() not in ABBREVIATIONS
+        ):
+            append(raw[:-1])
+            append(".")
+        else:
+            append(raw)
+    return words

@@ -34,9 +34,15 @@ N_NEW_DOCS = 30
 CONFIG = EtapConfig(top_k_per_query=40, negative_sample_size=600)
 
 
-def snapshot() -> dict:
+def snapshot(config: EtapConfig = CONFIG) -> dict:
+    """Run the pinned scenario.
+
+    ``config`` lets the equivalence tests re-run the exact scenario
+    with e.g. ``workers=4``; anything that changes the *output* (and so
+    the snapshot identity) must stay in :data:`CONFIG` itself.
+    """
     web = build_web(N_DOCS, CorpusConfig(seed=SEED))
-    etap = Etap.from_web(web, config=CONFIG)
+    etap = Etap.from_web(web, config=config)
     etap.gather()
     etap.train()
 
@@ -61,8 +67,8 @@ def snapshot() -> dict:
             "seed": SEED,
             "evolve_seed": EVOLVE_SEED,
             "n_new_docs": N_NEW_DOCS,
-            "top_k_per_query": CONFIG.top_k_per_query,
-            "negative_sample_size": CONFIG.negative_sample_size,
+            "top_k_per_query": config.top_k_per_query,
+            "negative_sample_size": config.negative_sample_size,
         },
         "per_driver_counts": per_driver_counts,
         "top5": top5,

@@ -41,7 +41,9 @@ class TestSpanTree:
         tracer, _ = traced_pipeline
         gather = tracer.roots[0]
         child_names = [child.name for child in gather.children]
-        assert child_names == ["gather.crawl", "gather.store_index"]
+        assert child_names == [
+            "gather.crawl", "gather.warm_cache", "gather.store_index",
+        ]
 
     def test_train_children_cover_every_driver(self, traced_pipeline):
         tracer, _ = traced_pipeline

@@ -33,7 +33,7 @@ class TestPostings:
 
     def test_positions_recorded(self, index):
         posting = index.postings("acquired")["d1"]
-        assert posting.positions == [1]
+        assert list(posting.positions) == [1]
 
 
 class TestStats:

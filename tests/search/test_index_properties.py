@@ -1,0 +1,165 @@
+"""Property tests for incremental index maintenance (hypothesis).
+
+The serve layer builds "previous generation + delta" indexes out of
+:meth:`InvertedIndex.clone` + :meth:`add_document`; these properties pin
+the invariant that makes that safe: however a document set reaches the
+index — one at a time, batched, re-added, via clone-and-extend — the
+resulting index answers queries identically to a fresh bulk build.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.search.engine import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.serve.shards import ShardedIndex
+
+WORDS = ["acme", "acquired", "revenue", "ceo", "plant", "growth"]
+
+text_strategy = st.lists(
+    st.sampled_from(WORDS), max_size=10
+).map(" ".join)
+
+docs_strategy = st.dictionaries(
+    keys=st.sampled_from([f"doc-{i}" for i in range(6)]),
+    values=text_strategy,
+    max_size=6,
+)
+
+
+def canonical(index: InvertedIndex) -> dict:
+    """A comparable dump of the index's observable state."""
+    return {
+        "docs": sorted(index.doc_keys()),
+        "lengths": {
+            key: index.doc_length(key) for key in index.doc_keys()
+        },
+        "titles": {key: index.title(key) for key in index.doc_keys()},
+        "postings": {
+            word: {
+                doc_key: list(posting.positions)
+                for doc_key, posting in index.postings(word).items()
+            }
+            for word in WORDS
+        },
+    }
+
+
+@given(docs_strategy)
+def test_incremental_adds_equal_bulk_rebuild(docs):
+    incremental = InvertedIndex()
+    for doc_key, text in docs.items():
+        incremental.add_document(doc_key, text, title=doc_key)
+    bulk = InvertedIndex.from_documents(
+        (doc_key, text, doc_key) for doc_key, text in docs.items()
+    )
+    assert canonical(incremental) == canonical(bulk)
+
+
+@given(docs_strategy, text_strategy)
+def test_readd_replaces_and_equals_final_state(docs, new_text):
+    if not docs:
+        return
+    target = sorted(docs)[0]
+    index = InvertedIndex()
+    for doc_key, text in docs.items():
+        index.add_document(doc_key, text)
+    index.add_document(target, new_text)
+    final = dict(docs)
+    final[target] = new_text
+    expected = InvertedIndex.from_documents(
+        (doc_key, text, "") for doc_key, text in final.items()
+    )
+    assert canonical(index) == canonical(expected)
+
+
+@given(docs_strategy)
+def test_add_then_remove_equals_never_added(docs):
+    if not docs:
+        return
+    target = sorted(docs)[0]
+    index = InvertedIndex()
+    for doc_key, text in docs.items():
+        index.add_document(doc_key, text)
+    index.remove_document(target)
+    expected = InvertedIndex.from_documents(
+        (doc_key, text, "")
+        for doc_key, text in docs.items()
+        if doc_key != target
+    )
+    assert canonical(index) == canonical(expected)
+    assert target not in index
+
+
+@given(docs_strategy, docs_strategy)
+def test_clone_plus_delta_equals_bulk_rebuild(base, delta):
+    original = InvertedIndex.from_documents(
+        (doc_key, text, "") for doc_key, text in base.items()
+    )
+    before = canonical(original)
+    extended = original.clone()
+    for doc_key, text in delta.items():
+        extended.add_document(doc_key, text)
+    merged = dict(base)
+    merged.update(delta)
+    expected = InvertedIndex.from_documents(
+        (doc_key, text, "") for doc_key, text in merged.items()
+    )
+    assert canonical(extended) == canonical(expected)
+    # Copy-on-write isolation: the original never observes the delta.
+    assert canonical(original) == before
+
+
+@given(docs_strategy, docs_strategy, st.integers(1, 4))
+def test_sharded_extend_equals_full_rebuild(base, delta, n_shards):
+    merged = dict(base)
+    merged.update(delta)
+
+    extended = ShardedIndex(n_shards=n_shards)
+    extended.rebuild(
+        (doc_key, text, "") for doc_key, text in base.items()
+    )
+    # The delta may overlap the base: extend must replace, not dup.
+    extended.extend(
+        (doc_key, text, "") for doc_key, text in delta.items()
+    )
+    rebuilt = ShardedIndex(n_shards=n_shards)
+    rebuilt.rebuild(
+        (doc_key, text, "") for doc_key, text in merged.items()
+    )
+
+    assert extended.snapshot.n_docs == rebuilt.snapshot.n_docs
+    assert (
+        extended.snapshot.shard_sizes()
+        == rebuilt.snapshot.shard_sizes()
+    )
+    for word in WORDS:
+        assert [
+            (result.doc_key, round(result.score, 9))
+            for result in extended.search(word, top_k=10)
+        ] == [
+            (result.doc_key, round(result.score, 9))
+            for result in rebuilt.search(word, top_k=10)
+        ]
+
+
+@given(docs_strategy)
+def test_precomputed_engine_terms_equal_inline_tokenization(docs):
+    """The annotate-once term stream must match indexing from text."""
+    from repro.text.engine import AnnotationEngine
+
+    cached = SearchEngine(text_engine=AnnotationEngine())
+    inline = SearchEngine()
+    for doc_key, text in docs.items():
+        cached.add_document(doc_key, text, title=doc_key)
+        inline.add_document(doc_key, text, title=doc_key)
+    assert canonical(cached.index) == canonical(inline.index)
+    for word in WORDS:
+        assert [
+            (result.doc_key, round(result.score, 9))
+            for result in cached.search(word, top_k=10)
+        ] == [
+            (result.doc_key, round(result.score, 9))
+            for result in inline.search(word, top_k=10)
+        ]

@@ -100,6 +100,54 @@ def test_serve_bench_at_toy_scale(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_ingest_bench_at_toy_scale(tmp_path):
+    """The ingestion bench runs end to end and its payload validates."""
+    import json
+
+    module = _load_bench_module("bench_ingest")
+    out = tmp_path / "BENCH_ingest.json"
+    payload = module.measure(n_docs=150, seed=7, out=out)
+    assert out.exists()
+    assert json.loads(out.read_text()) == payload
+    assert module.validate_payload(payload) == []
+    # Self-baselined run: the same numbers on both sides, ratio 1.0.
+    assert payload["speedup"] == 1.0
+    # The annotate-once floor holds even at toy scale.
+    assert payload["current"]["cache"]["hit_rate"] >= 0.5
+
+
+@pytest.mark.bench_smoke
+def test_ingest_bench_parallel_warm_matches_serial(tmp_path):
+    """--workers must not change what the measured pipeline produces."""
+    module = _load_bench_module("bench_ingest")
+    serial = module.run_once(n_docs=120, seed=7, workers=1)
+    parallel = module.run_once(n_docs=120, seed=7, workers=4)
+    for key in ("documents_stored", "n_trigger_events"):
+        assert parallel[key] == serial[key]
+
+
+@pytest.mark.bench_smoke
+def test_committed_ingest_bench_artifact_validates():
+    """benchmarks/BENCH_ingest.json must validate AND meet the
+    acceptance floors of the ingestion overhaul: >= 3x end-to-end
+    against the recorded pre-optimization baseline, cache hit rate
+    >= 0.5, and identical trigger-event output on both runs (a perf win
+    that changes the output would be vacuous)."""
+    import json
+
+    module = _load_bench_module("bench_ingest")
+    artifact = BENCHMARKS_DIR / "BENCH_ingest.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
+    assert payload["speedup"] >= 3.0
+    assert payload["current"]["cache"]["hit_rate"] >= 0.5
+    assert (
+        payload["current"]["n_trigger_events"]
+        == payload["baseline"]["n_trigger_events"]
+    )
+
+
+@pytest.mark.bench_smoke
 def test_committed_serve_bench_artifact_validates():
     """benchmarks/BENCH_serve.json must match the bench's own schema,
     so a schema change cannot outrun the committed artifact."""

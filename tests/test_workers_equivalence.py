@@ -1,0 +1,31 @@
+"""Parallel ingestion must be bit-identical to serial ingestion.
+
+``EtapConfig.workers`` only controls how many threads *warm* the
+annotation caches before the serial store/index merge; it must never
+change what the pipeline produces.  This test re-runs the exact golden
+scenario (``tests/golden/regen.py``) under several worker counts and
+demands byte-identical output against the committed snapshot — the same
+bar the serial pipeline is held to in ``test_golden_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from tests.golden.regen import CONFIG, GOLDEN_PATH, snapshot
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_worker_count_never_changes_pipeline_output(workers):
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = snapshot(dataclasses.replace(CONFIG, workers=workers))
+    assert current["params"] == golden["params"]
+    for key in ("per_driver_counts", "top5", "alert_ids"):
+        assert current[key] == golden[key], (
+            f"workers={workers} drifted from the serial golden "
+            f"snapshot ({key}) — parallel warm-up must be a pure "
+            f"optimization"
+        )
