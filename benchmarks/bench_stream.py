@@ -1,0 +1,366 @@
+"""Streaming ETAP bench: sustained throughput, freshness, recovery.
+
+Continuous ingestion (docs/STREAMING.md) is only worth its durability
+machinery if (a) the stream keeps up with the corpus, (b) alerts come
+out while they are fresh — section 3 of the paper: a sales lead decays
+with every cycle it sits unminted — and (c) a crashed process is back
+and caught up quickly.  This bench measures all three on a fixed-seed
+workload:
+
+* **throughput** — streamed documents per second through the full
+  per-cycle path (watermark routing, incremental index extend, online
+  alert minting, WAL append, checkpoint write);
+* **freshness** — for every minted alert, how many cycles after its
+  document arrived it was minted; p50/p99 reported in cycles.  The
+  per-batch minting design targets p99 == 0 (alerts mint in the
+  arrival cycle);
+* **recovery** — the same workload is killed mid-stream via the WAL's
+  deterministic ``kill_after``, then resumed: ``resume_seconds`` is
+  checkpoint restore + WAL tail replay, ``catchup_seconds`` the
+  remaining cycles, and the resumed run must converge to the
+  uninterrupted run's exact alert set (``converged``).
+
+``BENCH_stream.json`` is the committed artifact; the tier-1 smoke test
+enforces its schema and floors.  Regenerate after an intentional
+change::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.etap import Etap, EtapConfig
+from repro.core.persistence import (
+    CheckpointStore,
+    SimulatedCrash,
+    WriteAheadLog,
+)
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.stream import EvolvingWebStream, StreamProcessor
+
+#: Committed artifact; regenerating it is the point of the bench.
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_stream.json"
+
+#: The reference workload (part of the artifact's identity).
+N_DOCS = 400
+SEED = 7
+CYCLES = 5
+DOCS_PER_CYCLE = 25
+TOP_K_PER_QUERY = 60
+NEGATIVE_SAMPLE_SIZE = 1200
+ALERT_THRESHOLD = 0.7
+
+
+def _build_base(n_docs: int, seed: int):
+    """The deterministic base pipeline every stream process rebuilds."""
+    web = build_web(n_docs, CorpusConfig(seed=seed))
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(
+            top_k_per_query=TOP_K_PER_QUERY,
+            negative_sample_size=NEGATIVE_SAMPLE_SIZE,
+        ),
+    )
+    etap.gather()
+    return web, etap
+
+
+def _source(web, seed: int, docs_per_cycle: int) -> EvolvingWebStream:
+    return EvolvingWebStream(
+        web,
+        config=CorpusConfig(seed=seed + 1),
+        docs_per_cycle=docs_per_cycle,
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return float(ordered[index])
+
+
+def run_once(
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    cycles: int = CYCLES,
+    docs_per_cycle: int = DOCS_PER_CYCLE,
+) -> dict:
+    """One fixed-seed streaming pass; returns the run payload."""
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp:
+        root = Path(tmp)
+        t0 = time.perf_counter()
+        web, etap = _build_base(n_docs, seed)
+        classifiers = etap.train()
+        t1 = time.perf_counter()
+
+        source = _source(web, seed, docs_per_cycle)
+        processor = StreamProcessor(
+            etap,
+            wal=WriteAheadLog(root / "wal.jsonl"),
+            checkpoints=CheckpointStore(root / "checkpoints"),
+            threshold=ALERT_THRESHOLD,
+        )
+        arrival_cycle: dict[str, int] = {}
+        cycle_seconds: list[float] = []
+        streamed = 0
+        for _ in range(cycles):
+            batch = source.next_batch()
+            for document in batch.documents:
+                arrival_cycle.setdefault(document.doc_id, batch.cycle)
+            c0 = time.perf_counter()
+            report = processor.process_batch(batch)
+            cycle_seconds.append(time.perf_counter() - c0)
+            streamed += report.n_ingested
+        stream_seconds = sum(cycle_seconds)
+
+        freshness = [
+            float(alert.cycle - arrival_cycle[alert.doc_id])
+            for alert in processor.alerts
+            if alert.doc_id in arrival_cycle
+        ]
+        n_wal_records = processor.wal.last_seq + 1
+        alert_ids = sorted(a.alert_id for a in processor.alerts)
+        processor.close()
+
+    return {
+        "n_docs": n_docs,
+        "seed": seed,
+        "cycles": cycles,
+        "docs_per_cycle": docs_per_cycle,
+        "base_build_seconds": round(t1 - t0, 4),
+        "n_classifiers": len(classifiers),
+        "streamed_docs": streamed,
+        "n_alerts": len(alert_ids),
+        "n_wal_records": n_wal_records,
+        "stream_seconds": round(stream_seconds, 4),
+        "cycle_seconds_max": round(max(cycle_seconds), 4),
+        "docs_per_sec": round(streamed / stream_seconds, 2)
+        if stream_seconds
+        else 0.0,
+        "freshness_cycles_p50": _percentile(freshness, 0.50),
+        "freshness_cycles_p99": _percentile(freshness, 0.99),
+        "alert_ids": alert_ids,
+    }
+
+
+def measure_recovery(
+    reference: dict,
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    cycles: int = CYCLES,
+    docs_per_cycle: int = DOCS_PER_CYCLE,
+) -> dict:
+    """Crash the reference workload mid-stream, resume, time the pieces.
+
+    ``kill_after`` is half the uninterrupted run's WAL records, so the
+    crash always lands in the middle of the stream regardless of
+    workload size.
+    """
+    kill_after = max(1, reference["n_wal_records"] // 2)
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as tmp:
+        root = Path(tmp)
+        web, etap = _build_base(n_docs, seed)
+        etap.train()
+        source = _source(web, seed, docs_per_cycle)
+        processor = StreamProcessor(
+            etap,
+            wal=WriteAheadLog(root / "wal.jsonl", kill_after=kill_after),
+            checkpoints=CheckpointStore(root / "checkpoints"),
+            threshold=ALERT_THRESHOLD,
+        )
+        crashed_at_cycle = None
+        try:
+            for _ in range(cycles):
+                processor.process_batch(source.next_batch())
+        except SimulatedCrash:
+            crashed_at_cycle = processor.cycle
+        assert crashed_at_cycle is not None, (
+            "kill_after never fired; recovery run is vacuous"
+        )
+        processor.wal.close()
+
+        # The second process: deterministic base rebuild, then the
+        # recovery path proper (checkpoint restore + WAL tail replay),
+        # then catch-up over the remaining cycles.
+        web2, etap2 = _build_base(n_docs, seed)
+        etap2.train()
+        source2 = _source(web2, seed, docs_per_cycle)
+        t0 = time.perf_counter()
+        resumed, info = StreamProcessor.resume(
+            etap2,
+            WriteAheadLog(root / "wal.jsonl"),
+            CheckpointStore(root / "checkpoints"),
+            threshold=ALERT_THRESHOLD,
+        )
+        source2.seek(info.cycle)
+        t1 = time.perf_counter()
+        while source2.cycle < cycles:
+            resumed.process_batch(source2.next_batch())
+        t2 = time.perf_counter()
+
+        alert_ids = sorted(a.alert_id for a in resumed.alerts)
+        payload = {
+            "kill_after": kill_after,
+            "crashed_at_cycle": crashed_at_cycle,
+            "resumed_from_cycle": info.cycle,
+            "wal_records_replayed": info.wal_records_replayed,
+            "recovered_alerts": len(info.recovered_alert_keys),
+            "resume_seconds": round(t1 - t0, 4),
+            "catchup_seconds": round(t2 - t1, 4),
+            "recovery_seconds": round(t2 - t0, 4),
+            "converged": alert_ids == reference["alert_ids"],
+        }
+        resumed.close()
+    return payload
+
+
+def measure(
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    cycles: int = CYCLES,
+    docs_per_cycle: int = DOCS_PER_CYCLE,
+    out: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Run the stream + recovery workloads and assemble the artifact."""
+    current = run_once(
+        n_docs=n_docs, seed=seed, cycles=cycles,
+        docs_per_cycle=docs_per_cycle,
+    )
+    recovery = measure_recovery(
+        current, n_docs=n_docs, seed=seed, cycles=cycles,
+        docs_per_cycle=docs_per_cycle,
+    )
+    # alert_ids are run_once plumbing for the convergence check, not
+    # part of the committed artifact (they'd churn on corpus tweaks).
+    throughput = {
+        k: v for k, v in current.items()
+        if k not in ("alert_ids",)
+    }
+    payload = {
+        "bench": "stream",
+        "throughput": throughput,
+        "recovery": recovery,
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return payload
+
+
+#: Schema floor for BENCH_stream.json; the tier-1 smoke test enforces it.
+REQUIRED_THROUGHPUT_KEYS = frozenset(
+    {
+        "n_docs", "seed", "cycles", "docs_per_cycle",
+        "base_build_seconds", "n_classifiers", "streamed_docs",
+        "n_alerts", "n_wal_records", "stream_seconds",
+        "cycle_seconds_max", "docs_per_sec",
+        "freshness_cycles_p50", "freshness_cycles_p99",
+    }
+)
+REQUIRED_RECOVERY_KEYS = frozenset(
+    {
+        "kill_after", "crashed_at_cycle", "resumed_from_cycle",
+        "wal_records_replayed", "recovered_alerts",
+        "resume_seconds", "catchup_seconds", "recovery_seconds",
+        "converged",
+    }
+)
+REQUIRED_KEYS = frozenset({"bench", "throughput", "recovery"})
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema-check a BENCH_stream payload; returns human errors."""
+    errors = [
+        f"missing key {key!r}"
+        for key in sorted(REQUIRED_KEYS - set(payload))
+    ]
+    if errors:
+        return errors
+    if payload["bench"] != "stream":
+        errors.append(f"bench is {payload['bench']!r}, not 'stream'")
+    throughput = payload["throughput"]
+    errors.extend(
+        f"throughput: missing key {key!r}"
+        for key in sorted(REQUIRED_THROUGHPUT_KEYS - set(throughput))
+    )
+    recovery = payload["recovery"]
+    errors.extend(
+        f"recovery: missing key {key!r}"
+        for key in sorted(REQUIRED_RECOVERY_KEYS - set(recovery))
+    )
+    if errors:
+        return errors
+    if throughput["streamed_docs"] <= 0:
+        errors.append("throughput.streamed_docs must be positive")
+    if throughput["docs_per_sec"] <= 0:
+        errors.append("throughput.docs_per_sec must be positive")
+    if throughput["n_alerts"] <= 0:
+        errors.append("throughput found no alerts (vacuous run)")
+    if throughput["n_wal_records"] <= 0:
+        errors.append("throughput.n_wal_records must be positive")
+    p50 = throughput["freshness_cycles_p50"]
+    p99 = throughput["freshness_cycles_p99"]
+    if not 0 <= p50 <= p99:
+        errors.append("freshness percentiles must satisfy 0 <= p50 <= p99")
+    for key in ("resume_seconds", "catchup_seconds", "recovery_seconds"):
+        if not isinstance(recovery[key], (int, float)) or recovery[key] < 0:
+            errors.append(f"recovery.{key} must be non-negative")
+    if recovery["kill_after"] < 1:
+        errors.append("recovery.kill_after must be >= 1")
+    if recovery["converged"] is not True:
+        errors.append(
+            "recovery did not converge to the uninterrupted alert set"
+        )
+    return errors
+
+
+def bench_stream_pipeline(benchmark):
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1)
+    throughput = payload["throughput"]
+    recovery = payload["recovery"]
+    print(f"\nstream: {throughput['docs_per_sec']:.1f} docs/sec  "
+          f"freshness p99 {throughput['freshness_cycles_p99']:.0f} "
+          f"cycles  recovery {recovery['recovery_seconds']:.2f}s "
+          f"(resume {recovery['resume_seconds']:.2f}s)  "
+          f"converged={recovery['converged']}")
+    benchmark.extra_info.update(payload)
+    assert not validate_payload(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", type=int, default=N_DOCS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--cycles", type=int, default=CYCLES)
+    parser.add_argument(
+        "--docs-per-cycle", type=int, default=DOCS_PER_CYCLE
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT),
+        help="artifact path (use '-' to skip writing)",
+    )
+    args = parser.parse_args()
+    out = None if args.out == "-" else args.out
+    payload = measure(
+        n_docs=args.docs, seed=args.seed, cycles=args.cycles,
+        docs_per_cycle=args.docs_per_cycle, out=out,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    errors = validate_payload(payload)
+    if errors:
+        raise SystemExit("; ".join(errors))
+
+
+if __name__ == "__main__":
+    main()

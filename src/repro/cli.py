@@ -484,6 +484,122 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the continuous streaming processor with WAL + checkpoints.
+
+    The checkpoint directory is the unit of recovery: it holds the
+    trained classifiers, the write-ahead log and the numbered
+    checkpoints.  Re-running the command with the same corpus
+    parameters and the same directory resumes where the previous
+    process stopped — including after a ``--kill-after`` simulated
+    crash (exit code 3).  See docs/STREAMING.md.
+    """
+    from repro.core.persistence import CheckpointStore, WriteAheadLog
+    from repro.stream import (
+        EvolvingWebStream,
+        SimulatedCrash,
+        StreamProcessor,
+    )
+
+    tracer = _tracer(args)
+    event_log = _event_log(args)
+    checkpoint_dir = Path(args.checkpoint_dir)
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    models_dir = checkpoint_dir / MODELS_DIR
+    wal_path = checkpoint_dir / "wal.jsonl"
+    checkpoints = CheckpointStore(checkpoint_dir / "checkpoints")
+
+    # The base pipeline is a pure function of (--docs, --seed): the
+    # resumed process rebuilds it deterministically, and classifiers
+    # are persisted so resumes never retrain.
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+        tracer=tracer, event_log=event_log,
+    )
+    etap.gather()
+    classifiers = load_classifiers(models_dir)
+    if classifiers:
+        etap.classifiers = classifiers
+        print(f"loaded {len(classifiers)} classifiers "
+              f"from {models_dir}")
+    else:
+        etap.train()
+        save_classifiers(etap.classifiers, models_dir)
+        print(f"trained and saved {len(etap.classifiers)} "
+              f"classifiers -> {models_dir}")
+
+    source = EvolvingWebStream(
+        web,
+        config=CorpusConfig(seed=args.seed + 1),
+        docs_per_cycle=args.docs_per_cycle,
+    )
+    lateness = (
+        None if args.allowed_lateness < 0 else args.allowed_lateness
+    )
+    wal = WriteAheadLog(wal_path, kill_after=args.kill_after)
+    resuming = wal.last_seq >= 0 or checkpoints.latest() is not None
+    if resuming:
+        processor, info = StreamProcessor.resume(
+            etap, wal, checkpoints,
+            allowed_lateness=lateness,
+            checkpoint_every=args.checkpoint_every,
+            threshold=args.alert_threshold,
+            n_shards=args.shards,
+            tracer=tracer, event_log=event_log,
+        )
+        print(f"resumed from checkpoint "
+              f"{info.checkpoint_id if info.checkpoint_id is not None else '-'} "
+              f"at cycle {info.cycle} "
+              f"({info.wal_records_replayed} WAL records replayed, "
+              f"{len(info.recovered_alert_keys)} alerts already durable)")
+        source.seek(info.cycle)
+    else:
+        processor = StreamProcessor(
+            etap, wal=wal, checkpoints=checkpoints,
+            allowed_lateness=lateness,
+            checkpoint_every=args.checkpoint_every,
+            threshold=args.alert_threshold,
+            n_shards=args.shards,
+            tracer=tracer, event_log=event_log,
+        )
+    with processor:
+        try:
+            while source.cycle < args.cycles:
+                report = processor.process_batch(source.next_batch())
+                marker = " [checkpoint]" if report.checkpointed else ""
+                print(f"  cycle {report.cycle}: "
+                      f"{report.n_ingested} ingested, "
+                      f"{report.n_late} late, "
+                      f"{len(report.alerts)} alerts, "
+                      f"gen {report.generation}, "
+                      f"watermark {report.watermark}{marker}")
+                for alert in report.alerts[:3]:
+                    companies = ", ".join(alert.companies) or "-"
+                    recovered = " (recovered)" if alert.recovered else ""
+                    print(f"    {alert.alert_id}  [{alert.score:.2f}] "
+                          f"{alert.driver_id}  ({companies}){recovered}")
+        except SimulatedCrash as crash:
+            print(f"simulated crash after WAL record "
+                  f"{crash.records_written}; re-run with the same "
+                  f"--checkpoint-dir to resume", file=sys.stderr)
+            return 3
+    recovered = sum(1 for a in processor.alerts if a.recovered)
+    print(f"stream done: cycle {processor.cycle}, "
+          f"{len(processor.alerts)} alerts "
+          f"({recovered} recovered), "
+          f"{len(processor.late_arrivals)} late arrivals, "
+          f"watermark {processor.watermark}, "
+          f"index gen {processor.index.generation}")
+    if source.dropped or source.degraded:
+        print(f"  fetch degradation: {source.dropped} dropped, "
+              f"{source.degraded} degraded pages excluded")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay the demo pipeline under a tracer; emit the report as JSON."""
     tracer = _tracer(args)
@@ -633,6 +749,44 @@ def build_parser() -> argparse.ArgumentParser:
              "results are bit-identical for any value",
     )
     serve.set_defaults(func=cmd_serve)
+
+    stream = sub.add_parser(
+        "stream", parents=[profiled, faulty],
+        help="continuously ingest an evolving web with WAL + "
+             "checkpoint recovery (see docs/STREAMING.md)",
+    )
+    stream.add_argument("--docs", type=int, default=800,
+                        help="base corpus size gathered before "
+                             "streaming starts")
+    stream.add_argument("--seed", type=int, default=7)
+    stream.add_argument("--cycles", type=int, default=5,
+                        help="publication cycles (micro-batches) to "
+                             "consume, counted from cycle 1 — a resume "
+                             "continues toward the same total")
+    stream.add_argument("--docs-per-cycle", type=int, default=20,
+                        dest="docs_per_cycle")
+    stream.add_argument("--checkpoint-dir", required=True,
+                        dest="checkpoint_dir",
+                        help="durability root: classifiers, WAL and "
+                             "checkpoints; re-run with the same "
+                             "directory to resume")
+    stream.add_argument("--checkpoint-every", type=int, default=1,
+                        dest="checkpoint_every",
+                        help="checkpoint every N committed cycles")
+    stream.add_argument("--allowed-lateness", type=int, default=2,
+                        dest="allowed_lateness",
+                        help="watermark slack in days; late docs go to "
+                             "the side channel (negative disables the "
+                             "watermark entirely)")
+    stream.add_argument("--kill-after", type=int, default=None,
+                        dest="kill_after",
+                        help="simulate a crash after N WAL records "
+                             "(exit code 3; resume by re-running)")
+    stream.add_argument("--alert-threshold", type=float, default=0.9,
+                        dest="alert_threshold")
+    stream.add_argument("--shards", type=int, default=2,
+                        help="serving-index shards")
+    stream.set_defaults(func=cmd_stream)
 
     trace = sub.add_parser(
         "trace", parents=[profiled],

@@ -1,18 +1,35 @@
-"""Persistence for trained trigger-event classifiers.
+"""Durability: model persistence, write-ahead log, checkpoints.
 
-A production deployment trains per-driver classifiers once and serves
-them across many crawl cycles; this module serializes a trained
-:class:`~repro.core.classifier.TriggerEventClassifier` — abstraction
-policy, vocabulary and model parameters — to a single JSON document,
-and restores it without retraining.
+Three layers of state survive process death here:
 
-Supported inner models: multinomial / Bernoulli naive Bayes (the
-defaults), linear SVM and logistic regression.
+* **trained classifiers** — a production deployment trains per-driver
+  classifiers once and serves them across many crawl cycles;
+  :func:`save_classifier` serializes a trained
+  :class:`~repro.core.classifier.TriggerEventClassifier` — abstraction
+  policy, vocabulary and model parameters — to a single JSON document,
+  and :func:`load_classifier` restores it without retraining.
+  Supported inner models: multinomial / Bernoulli naive Bayes (the
+  defaults), linear SVM and logistic regression.
+* **write-ahead log** — :class:`WriteAheadLog` appends schema-versioned
+  JSONL records (the :class:`~repro.obs.events.Event` envelope, with
+  ``stream_*`` record types) with a flush+fsync per record, so every
+  acknowledged record survives a kill.  A deterministic
+  ``kill_after`` crash hook lets tests kill the process after *any*
+  record position.
+* **checkpoints** — :class:`CheckpointStore` writes numbered JSON
+  snapshots of processor state atomically (temp file + ``os.replace``)
+  and restores the latest complete one, ignoring torn leftovers.
+
+The streaming processor (:mod:`repro.stream`) composes the WAL and the
+checkpoint store into the recovery contract documented in
+docs/STREAMING.md: resume from the latest checkpoint, learn what was
+already emitted from the WAL tail, and reprocess the rest exactly once.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -23,6 +40,13 @@ from repro.features.vectorizer import Vectorizer, VectorizerConfig
 from repro.ml.logreg import LogisticRegression
 from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
 from repro.ml.svm import LinearSvm
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.events import (
+    EVENT_TYPES,
+    Event,
+    new_run_id,
+    read_events,
+)
 
 FORMAT_VERSION = 1
 
@@ -179,3 +203,217 @@ def load_classifiers(
         classifier = load_classifier(path)
         classifiers[classifier.driver_id] = classifier
     return classifiers
+
+
+# -- write-ahead log -----------------------------------------------------------
+
+class SimulatedCrash(RuntimeError):
+    """Deterministic kill: raised after the Nth WAL record is durable.
+
+    The record that trips the kill is already flushed and fsynced when
+    this raises, so a "crash after record N" leaves exactly N records
+    on disk — the contract the recovery fuzz suite kills against.
+    """
+
+    def __init__(self, records_written: int) -> None:
+        self.records_written = records_written
+        super().__init__(
+            f"simulated crash after WAL record {records_written}"
+        )
+
+
+class WriteAheadLog:
+    """Append-only, fsynced JSONL log of streaming-processor records.
+
+    Records reuse the flight recorder's schema-versioned
+    :class:`~repro.obs.events.Event` envelope (``stream_batch_begin``,
+    ``stream_alert``, ``late_arrival``, ``stream_batch_commit``,
+    ``checkpoint_written``, ``stream_resumed``), so one set of tooling
+    validates both logs.  Unlike :class:`~repro.obs.events.EventLog`
+    this log *appends* to an existing file — sequence numbers continue
+    across process restarts — and flushes + fsyncs every record, making
+    each append a durability point.
+
+    ``kill_after`` arms the deterministic crash hook: the append that
+    writes the ``kill_after``-th record of this process's lifetime
+    completes durably, then raises :class:`SimulatedCrash`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        run_id: str | None = None,
+        clock: Clock | None = None,
+        kill_after: int | None = None,
+    ) -> None:
+        if kill_after is not None and kill_after < 1:
+            raise ValueError("kill_after must be >= 1")
+        self.path = Path(path)
+        self.clock = clock or MonotonicClock()
+        self.kill_after = kill_after
+        #: Records appended by THIS process (the kill counter).
+        self.records_written = 0
+        existing = self.read() if self.path.exists() else []
+        self._seq = existing[-1].seq + 1 if existing else 0
+        self.run_id = run_id or (
+            existing[-1].run_id if existing else new_run_id()
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record will carry."""
+        return self._seq
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durable record (-1 when empty)."""
+        return self._seq - 1
+
+    def append(self, event_type: str, **payload) -> Event:
+        """Durably append one record; the schema floor is enforced.
+
+        Returns only after flush + fsync — when this returns (or raises
+        :class:`SimulatedCrash`), the record is on disk.
+        """
+        required = EVENT_TYPES.get(event_type)
+        if required is None:
+            raise ValueError(f"unknown WAL record type {event_type!r}")
+        missing = required - set(payload)
+        if missing:
+            raise ValueError(
+                f"{event_type}: missing payload fields {sorted(missing)}"
+            )
+        record = Event(
+            event_type=event_type,
+            run_id=self.run_id,
+            seq=self._seq,
+            ts=self.clock.now(),
+            payload=payload,
+        )
+        self._handle.write(record.to_json() + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._seq += 1
+        self.records_written += 1
+        if (
+            self.kill_after is not None
+            and self.records_written >= self.kill_after
+        ):
+            raise SimulatedCrash(self.records_written)
+        return record
+
+    def read(self) -> list[Event]:
+        """Every durable record, oldest first (tolerates a torn tail).
+
+        A crash can leave a final partial line (the write that never
+        finished); it is skipped — it was never acknowledged.
+        """
+        if not self.path.exists():
+            return []
+        try:
+            return read_events(self.path)
+        except (ValueError, json.JSONDecodeError):
+            events: list[Event] = []
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(Event.from_json(line))
+                    except (ValueError, json.JSONDecodeError):
+                        break  # torn tail: everything after is unacked
+            return events
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# -- checkpoints ---------------------------------------------------------------
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointStore:
+    """Numbered, atomically written JSON checkpoints in one directory.
+
+    Each checkpoint is a single ``checkpoint-NNNNNN.json`` file written
+    via temp file + ``os.replace``, so a crash mid-write leaves either
+    the previous complete file set or a stray ``*.tmp`` — never a torn
+    checkpoint.  :meth:`latest` returns the newest *readable* state and
+    skips unreadable or version-mismatched files instead of failing the
+    whole recovery.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_of(self, checkpoint_id: int) -> Path:
+        return self.directory / f"checkpoint-{checkpoint_id:06d}.json"
+
+    def save(self, checkpoint_id: int, state: dict) -> Path:
+        """Atomically persist one checkpoint; returns its path."""
+        if checkpoint_id < 0:
+            raise ValueError("checkpoint_id must be >= 0")
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "checkpoint_id": checkpoint_id,
+            "state": state,
+        }
+        path = self.path_of(checkpoint_id)
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def checkpoint_ids(self) -> list[int]:
+        """All complete checkpoint ids, oldest first."""
+        ids = []
+        for path in self.directory.glob("checkpoint-*.json"):
+            stem = path.stem.rsplit("-", 1)[-1]
+            if stem.isdigit():
+                ids.append(int(stem))
+        return sorted(ids)
+
+    def load(self, checkpoint_id: int) -> dict:
+        """Load one checkpoint's state; raises on version mismatch."""
+        payload = json.loads(
+            self.path_of(checkpoint_id).read_text(encoding="utf-8")
+        )
+        version = payload.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format version {version!r}"
+            )
+        return payload["state"]
+
+    def latest(self) -> tuple[int, dict] | None:
+        """Newest loadable ``(checkpoint_id, state)``, or ``None``.
+
+        Unreadable or version-mismatched files are skipped (a crashed
+        writer must never block recovery from an older good one).
+        """
+        for checkpoint_id in reversed(self.checkpoint_ids()):
+            try:
+                return checkpoint_id, self.load(checkpoint_id)
+            except (ValueError, json.JSONDecodeError, OSError):
+                continue
+        return None

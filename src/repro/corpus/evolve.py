@@ -18,17 +18,25 @@ from repro.corpus.web import FRONT_PAGE_URL, Page, SyntheticWeb
 LATEST_HUB_URL = "http://news.example.com/latest.html"
 
 
+#: Doc-id offset for evolved documents; seed corpora count from 0, so
+#: evolved ids never collide with a seed corpus below a million pages.
+EVOLVED_START_ID = 1_000_000
+
+
 class WebEvolver:
     """Publishes new documents onto an existing synthetic web."""
 
     def __init__(
-        self, web: SyntheticWeb, config: CorpusConfig | None = None
+        self,
+        web: SyntheticWeb,
+        config: CorpusConfig | None = None,
+        start_id: int = EVOLVED_START_ID,
     ) -> None:
         self.web = web
         config = config or CorpusConfig()
-        self._generator = CorpusGenerator(config)
-        # Never collide with doc-ids already on the web.
-        self._generator._counter = 1_000_000
+        # Never collide with doc-ids already on the web: evolved ids
+        # count from their own offset namespace.
+        self._generator = CorpusGenerator(config, start_id=start_id)
         self.cycle = 0
 
     def advance(self, n_new_docs: int = 20) -> list[Document]:

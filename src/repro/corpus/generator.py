@@ -116,12 +116,25 @@ class CorpusConfig:
 
 
 class CorpusGenerator:
-    """Deterministic generator for the synthetic web corpus."""
+    """Deterministic generator for the synthetic web corpus.
 
-    def __init__(self, config: CorpusConfig | None = None) -> None:
+    ``start_id`` offsets the doc-id counter, so two generators can share
+    a web without colliding: a seed corpus starts at 0 while an evolver
+    publishing fresh pages starts at 1,000,000 (see
+    :class:`~repro.corpus.evolve.WebEvolver`).  Ids keep their
+    ``doc-NNNNNN`` shape — the field simply grows past six digits.
+    """
+
+    def __init__(
+        self,
+        config: CorpusConfig | None = None,
+        start_id: int = 0,
+    ) -> None:
+        if start_id < 0:
+            raise ValueError("start_id must be >= 0")
         self.config = config or CorpusConfig()
         self._rng = random.Random(self.config.seed)
-        self._counter = 0
+        self._counter = start_id
 
     # -- per-type article builders ------------------------------------------
 

@@ -76,6 +76,23 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "query_rejected": frozenset({"client_id", "reason"}),
     "snapshot_swapped": frozenset({"generation", "n_docs", "n_shards"}),
     "subscription_polled": frozenset({"subscription_id", "n_alerts"}),
+    # Streaming ingestion (docs/STREAMING.md).  The first four double as
+    # the write-ahead-log record types of
+    # :class:`~repro.core.persistence.WriteAheadLog`.
+    "stream_batch_begin": frozenset({"cycle", "n_docs"}),
+    "stream_alert": frozenset(
+        {"alert_id", "cycle", "driver_id", "snippet_id", "doc_id", "score"}
+    ),
+    "stream_batch_commit": frozenset(
+        {"cycle", "watermark", "generation", "n_alerts"}
+    ),
+    "checkpoint_written": frozenset(
+        {"checkpoint_id", "cycle", "watermark", "wal_seq"}
+    ),
+    "stream_resumed": frozenset(
+        {"checkpoint_id", "cycle", "wal_records_replayed"}
+    ),
+    "late_arrival": frozenset({"doc_id", "published_day", "watermark"}),
 }
 
 _ENVELOPE_FIELDS = frozenset(

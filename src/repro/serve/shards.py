@@ -224,6 +224,43 @@ class ShardedIndex:
         self._announce_swap(snapshot)
         return snapshot
 
+    def restore(
+        self,
+        documents: Iterable[tuple[str, str, str]],
+        generation: int,
+    ) -> IndexSnapshot:
+        """Rebuild at an *explicit* generation (checkpoint recovery).
+
+        A resumed stream processor re-indexes the checkpointed document
+        set but must land on the generation number the checkpoint
+        recorded, so that replayed :meth:`extend` deltas advance the
+        counter to exactly what an uninterrupted run would have reached
+        — the recovery fuzz suite pins generation equality.
+        """
+        if generation < 0:
+            raise ValueError("generation must be >= 0")
+        with self._rebuild_lock:
+            engines = tuple(
+                SearchEngine(
+                    ranking=self._ranking(),
+                    text_engine=self.text_engine,
+                )
+                for _ in range(self.n_shards)
+            )
+            n_docs = 0
+            for doc_key, text, title in documents:
+                shard = shard_of(doc_key, self.n_shards)
+                engines[shard].add_document(doc_key, text, title)
+                n_docs += 1
+            snapshot = IndexSnapshot(
+                generation=generation,
+                engines=engines,
+                n_docs=n_docs,
+            )
+            self._snapshot = snapshot  # the atomic swap
+        self._announce_swap(snapshot)
+        return snapshot
+
     def _announce_swap(self, snapshot: IndexSnapshot) -> None:
         self.tracer.count("serve.snapshot_swaps")
         self.event_log.emit(

@@ -1,0 +1,54 @@
+"""Continuous streaming ETAP: incremental ingestion with recovery.
+
+Public surface of the streaming subsystem:
+
+* sources — :class:`EvolvingWebStream` (replayable, seeded),
+  :class:`SequenceStream` / :func:`batches_of` (fixed splits);
+* processing — :class:`StreamProcessor` with watermark semantics and
+  exactly-once alert minting;
+* durability — re-exported WAL/checkpoint machinery from
+  :mod:`repro.core.persistence`.
+
+See ``docs/STREAMING.md`` for the WAL format, checkpoint schema and
+the recovery contract.
+"""
+
+from repro.core.persistence import (
+    CheckpointStore,
+    SimulatedCrash,
+    WriteAheadLog,
+)
+from repro.stream.processor import (
+    CycleReport,
+    LateArrival,
+    ResumeInfo,
+    StreamAlert,
+    StreamProcessor,
+)
+from repro.stream.source import (
+    DocumentStream,
+    EvolvingWebStream,
+    MicroBatch,
+    SequenceStream,
+    StreamDocument,
+    batches_of,
+    stream_document_of,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "CycleReport",
+    "DocumentStream",
+    "EvolvingWebStream",
+    "LateArrival",
+    "MicroBatch",
+    "ResumeInfo",
+    "SequenceStream",
+    "SimulatedCrash",
+    "StreamAlert",
+    "StreamDocument",
+    "StreamProcessor",
+    "WriteAheadLog",
+    "batches_of",
+    "stream_document_of",
+]

@@ -1,0 +1,251 @@
+"""Document streams: time-ordered micro-batches of fresh pages.
+
+The paper frames ETAP as an *alert* program; Sedano (PAPERS.md) makes
+the next step explicit — treat business news as a continuous stream.
+This module adapts the reproduction's corpus machinery to that shape:
+
+* :class:`EvolvingWebStream` wraps a
+  :class:`~repro.corpus.evolve.WebEvolver` and emits one
+  :class:`MicroBatch` per publication cycle.  Because the evolver is
+  seeded, the stream behaves like a replayable log: :meth:`seek`
+  deterministically regenerates (and republishes) cycles 1..k, so a
+  resumed processor re-pulls exactly the batches an uninterrupted run
+  would have seen — the stream's "retention" is regeneration.
+* :class:`SequenceStream` serves a fixed list of batches, the harness
+  for golden-equivalence and watermark property tests.
+
+When the underlying web injects faults
+(:class:`~repro.robustness.faults.FaultyWeb`), the evolving stream
+fetches each freshly published URL through a
+:class:`~repro.robustness.fetcher.ResilientFetcher`: permanently failed
+pages are dropped from the batch (counted, never raised) and degraded
+pages are excluded so corrupted text never mints alerts — the same
+degradation contract as the batch gather path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Sequence
+
+from repro.corpus.evolve import WebEvolver
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import SyntheticWeb
+from repro.robustness.faults import FaultyWeb
+from repro.robustness.fetcher import ResilientFetcher
+
+
+@dataclass(frozen=True)
+class StreamDocument:
+    """One document as carried by the stream."""
+
+    doc_id: str
+    url: str
+    title: str
+    text: str
+    #: Event time on the simulated calendar (the watermark's domain).
+    published_day: int
+    doc_type: str = ""
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """One time-ordered batch of freshly published documents."""
+
+    cycle: int
+    documents: tuple[StreamDocument, ...]
+    #: Publication attempts dropped by the fetch path this cycle
+    #: (fault injection only; 0 on a healthy web).
+    dropped: int = 0
+    degraded: int = 0
+
+    @property
+    def max_event_time(self) -> int | None:
+        """Largest publication day in the batch (None when empty)."""
+        if not self.documents:
+            return None
+        return max(doc.published_day for doc in self.documents)
+
+
+class DocumentStream(Protocol):
+    """A replayable, cycle-addressed stream of micro-batches."""
+
+    @property
+    def cycle(self) -> int:
+        """Last emitted cycle (0 before the first batch)."""
+
+    def seek(self, cycle: int) -> None:
+        """Fast-forward so the next batch is ``cycle + 1``."""
+
+    def next_batch(self) -> MicroBatch:
+        """Produce the next micro-batch."""
+
+
+def stream_document_of(document, url: str | None = None) -> StreamDocument:
+    """Adapt a corpus :class:`~repro.corpus.generator.Document`."""
+    return StreamDocument(
+        doc_id=document.doc_id,
+        url=url or document.url,
+        title=document.title,
+        text=document.text,
+        published_day=document.published_day,
+        doc_type=document.doc_type,
+    )
+
+
+class EvolvingWebStream:
+    """Micro-batches from a seeded :class:`WebEvolver` (replayable)."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        config: CorpusConfig | None = None,
+        docs_per_cycle: int = 20,
+        fetcher: ResilientFetcher | None = None,
+    ) -> None:
+        if docs_per_cycle <= 0:
+            raise ValueError("docs_per_cycle must be positive")
+        self.web = web
+        self.docs_per_cycle = docs_per_cycle
+        self._evolver = WebEvolver(web, config)
+        # A faulty web without an explicit fetcher gets the resilient
+        # path by default, mirroring DataGatherer.
+        if fetcher is None and isinstance(web, FaultyWeb):
+            fetcher = ResilientFetcher(web, seed=web.seed)
+        self.fetcher = fetcher
+        #: Stream-level fetch-degradation tallies (across all batches).
+        self.dropped = 0
+        self.degraded = 0
+
+    @property
+    def cycle(self) -> int:
+        return self._evolver.cycle
+
+    def seek(self, cycle: int) -> None:
+        """Replay (and republish) cycles up to ``cycle``, discarding.
+
+        The evolver is a pure function of its seed, so advancing
+        through k cycles reproduces the exact per-cycle documents of
+        the original run; a resumed processor continues with the same
+        batches the crashed run would have seen next.  Fault decisions
+        are deterministic per (seed, url, attempt), so the skipped
+        cycles consume the same fault schedule too.
+        """
+        if cycle < self._evolver.cycle:
+            raise ValueError(
+                f"cannot seek backwards (at cycle {self._evolver.cycle}, "
+                f"asked for {cycle})"
+            )
+        while self._evolver.cycle < cycle:
+            self.next_batch()
+
+    def next_batch(self) -> MicroBatch:
+        documents = self._evolver.advance(self.docs_per_cycle)
+        kept: list[StreamDocument] = []
+        dropped = 0
+        degraded = 0
+        for document in documents:
+            if self.fetcher is None:
+                kept.append(stream_document_of(document))
+                continue
+            outcome = self.fetcher.fetch(document.url)
+            if not outcome.ok:
+                dropped += 1
+                continue
+            if outcome.status == "degraded":
+                # Same contract as the batch gatherer: corrupted text
+                # must never mint trigger events a healthy fetch would
+                # not have produced.
+                degraded += 1
+                continue
+            kept.append(
+                StreamDocument(
+                    doc_id=document.doc_id,
+                    url=outcome.page.url,
+                    title=outcome.page.title,
+                    text=outcome.page.text,
+                    published_day=document.published_day,
+                    doc_type=document.doc_type,
+                )
+            )
+        self.dropped += dropped
+        self.degraded += degraded
+        return MicroBatch(
+            cycle=self._evolver.cycle,
+            documents=tuple(kept),
+            dropped=dropped,
+            degraded=degraded,
+        )
+
+
+@dataclass
+class SequenceStream:
+    """A fixed, pre-built batch sequence (tests and replays).
+
+    Batches are renumbered 1..N on construction so ``seek`` addresses
+    them by position, matching the evolving stream's contract.
+    """
+
+    batches: Sequence[MicroBatch]
+    _position: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.batches = tuple(
+            MicroBatch(
+                cycle=i,
+                documents=batch.documents,
+                dropped=batch.dropped,
+                degraded=batch.degraded,
+            )
+            for i, batch in enumerate(self.batches, start=1)
+        )
+
+    @property
+    def cycle(self) -> int:
+        return self._position
+
+    def seek(self, cycle: int) -> None:
+        if cycle < self._position:
+            raise ValueError("cannot seek backwards")
+        if cycle > len(self.batches):
+            raise ValueError(
+                f"seek past end: {cycle} > {len(self.batches)}"
+            )
+        self._position = cycle
+
+    def next_batch(self) -> MicroBatch:
+        if self._position >= len(self.batches):
+            raise StopIteration("stream exhausted")
+        batch = self.batches[self._position]
+        self._position += 1
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[MicroBatch]:
+        while self._position < len(self.batches):
+            yield self.next_batch()
+
+
+def batches_of(
+    documents: Sequence[StreamDocument], n_batches: int
+) -> SequenceStream:
+    """Split documents into ``n_batches`` contiguous micro-batches.
+
+    Sizes differ by at most one; order is preserved.  The golden
+    equivalence suite feeds the same corpus through 1, 3 and N batches
+    and pins that the split never changes the alert set.
+    """
+    if n_batches <= 0:
+        raise ValueError("n_batches must be positive")
+    n_batches = min(n_batches, max(len(documents), 1))
+    base, extra = divmod(len(documents), n_batches)
+    batches: list[MicroBatch] = []
+    start = 0
+    for i in range(n_batches):
+        size = base + (1 if i < extra else 0)
+        chunk = tuple(documents[start:start + size])
+        start += size
+        batches.append(MicroBatch(cycle=i + 1, documents=chunk))
+    return SequenceStream(batches)

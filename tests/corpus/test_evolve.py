@@ -62,3 +62,21 @@ class TestAdvance:
         for document in fresh:
             assert int(document.doc_id.split("-")[1]) >= 1_000_000
         assert not {d.doc_id for d in fresh} & initial_ids
+
+    def test_start_id_is_a_public_parameter(self):
+        """The namespace offset is plumbed through the constructor —
+        no more reaching into the generator's private counter."""
+        web = build_web(40, CorpusConfig(seed=41))
+        evolver = WebEvolver(
+            web, CorpusConfig(seed=42), start_id=5_000_000
+        )
+        for document in evolver.advance(4):
+            assert int(document.doc_id.split("-")[1]) >= 5_000_000
+
+    def test_default_start_id_matches_module_constant(self):
+        from repro.corpus.evolve import EVOLVED_START_ID
+
+        assert EVOLVED_START_ID == 1_000_000
+        web = build_web(40, CorpusConfig(seed=41))
+        first = WebEvolver(web, CorpusConfig(seed=42)).advance(1)[0]
+        assert first.doc_id == f"doc-{EVOLVED_START_ID + 1}"

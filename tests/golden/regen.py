@@ -76,8 +76,70 @@ def snapshot(config: EtapConfig = CONFIG) -> dict:
     }
 
 
+#: Micro-batch splits the streaming leg is pinned under; the streamed
+#: alert set must be identical for every split AND identical to the
+#: batch path's ``alert_ids`` (split-invariance is asserted at regen
+#: time, so the golden section stores one common result).
+STREAM_SPLITS = (1, 3, N_NEW_DOCS)
+
+
+def stream_snapshot(config: EtapConfig = CONFIG) -> dict:
+    """The golden corpus through the stream processor, split N ways.
+
+    Same scenario as :func:`snapshot`'s alert leg, but the evolved
+    documents are fed through :class:`~repro.stream.StreamProcessor`
+    as micro-batches (watermark disabled: the synthetic corpus
+    publishes days in random order, and this leg pins *equivalence*,
+    not lateness routing — that has its own property suite).
+    """
+    from collections import Counter
+
+    from repro.stream import (
+        StreamProcessor,
+        batches_of,
+        stream_document_of,
+    )
+
+    evolver_web = build_web(N_DOCS, CorpusConfig(seed=SEED))
+    documents = [
+        stream_document_of(document)
+        for document in WebEvolver(
+            evolver_web, CorpusConfig(seed=EVOLVE_SEED)
+        ).advance(N_NEW_DOCS)
+    ]
+
+    per_split: dict[int, dict] = {}
+    for n_batches in STREAM_SPLITS:
+        web = build_web(N_DOCS, CorpusConfig(seed=SEED))
+        etap = Etap.from_web(web, config=config)
+        etap.gather()
+        etap.train()
+        processor = StreamProcessor(etap, allowed_lateness=None)
+        source = batches_of(documents, n_batches)
+        processor.run(source, until_cycle=len(source))
+        per_split[n_batches] = {
+            "alert_ids": sorted(a.alert_id for a in processor.alerts),
+            "per_driver_counts": dict(sorted(
+                Counter(a.driver_id for a in processor.alerts).items()
+            )),
+        }
+
+    first = per_split[STREAM_SPLITS[0]]
+    for n_batches, result in per_split.items():
+        assert result == first, (
+            f"stream output depends on the batch split "
+            f"({STREAM_SPLITS[0]} vs {n_batches} micro-batches): "
+            f"{first} != {result}"
+        )
+    return {"splits": list(STREAM_SPLITS), **first}
+
+
 def main() -> None:
     data = snapshot()
+    data["stream"] = stream_snapshot()
+    assert data["stream"]["alert_ids"] == data["alert_ids"], (
+        "streaming and batch paths minted different alert sets"
+    )
     GOLDEN_PATH.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
@@ -85,7 +147,8 @@ def main() -> None:
     print(f"wrote {GOLDEN_PATH}")
     print(
         f"  drivers: {data['per_driver_counts']}, "
-        f"alerts: {len(data['alert_ids'])}"
+        f"alerts: {len(data['alert_ids'])}, "
+        f"stream splits {data['stream']['splits']} equivalent"
     )
 
 

@@ -91,6 +91,37 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
     "query_rejected": {"client_id": "analyst-7", "reason": "queue_full"},
     "snapshot_swapped": {"generation": 2, "n_docs": 640, "n_shards": 4},
     "subscription_polled": {"subscription_id": "sub-0001", "n_alerts": 3},
+    "stream_batch_begin": {"cycle": 3, "n_docs": 20},
+    "stream_alert": {
+        "alert_id": "ab12cd34ef56ab78",
+        "cycle": 3,
+        "driver_id": "mergers",
+        "snippet_id": "doc-1000001#2",
+        "doc_id": "doc-1000001",
+        "score": 0.96,
+    },
+    "stream_batch_commit": {
+        "cycle": 3,
+        "watermark": 93,
+        "generation": 4,
+        "n_alerts": 2,
+    },
+    "checkpoint_written": {
+        "checkpoint_id": 3,
+        "cycle": 3,
+        "watermark": 93,
+        "wal_seq": 41,
+    },
+    "stream_resumed": {
+        "checkpoint_id": 3,
+        "cycle": 3,
+        "wal_records_replayed": 7,
+    },
+    "late_arrival": {
+        "doc_id": "doc-1000042",
+        "published_day": 88,
+        "watermark": 93,
+    },
 }
 
 

@@ -76,6 +76,7 @@ def recorder_keepers():
     yield "WorkerPool", lambda t, e: _worker_pool(t)
     yield "AdmissionController", lambda t, e: _admission(t)
     yield "AlertPortal", lambda t, e: _portal(etap, t, e)
+    yield "StreamProcessor", lambda t, e: _stream_processor(etap, t, e)
 
 
 def _training_generator(gatherer, tracer):
@@ -117,6 +118,15 @@ def _admission(tracer):
     from repro.serve.admission import AdmissionController
 
     return AdmissionController(tracer=tracer)
+
+
+def _stream_processor(etap, tracer, event_log):
+    from repro.stream import StreamProcessor
+
+    # Streaming needs trained classifiers; a stub satisfies the guard
+    # (see _alert_service) and the empty store keeps the rebuild cheap.
+    etap.classifiers.setdefault("stub", object())
+    return StreamProcessor(etap, tracer=tracer, event_log=event_log)
 
 
 def _portal(etap, tracer, event_log):

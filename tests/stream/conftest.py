@@ -1,0 +1,80 @@
+"""Fixtures for the streaming suite.
+
+The recovery fuzz tests need a *fresh* base pipeline per run — a crash
+kills the process, and the resumed process rebuilds its base corpus
+from scratch.  Training once per run would dominate the suite, so the
+session trains a single reference pipeline and every run clones its
+store into a new :class:`Etap` that shares the trained classifiers and
+the annotate-once text engine (content-keyed caches make the re-index
+essentially free).  The clone is behaviourally identical to a freshly
+gathered + trained pipeline because gather and train are deterministic
+functions of (n_docs, seed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.gather.store import DocumentStore
+from repro.search.engine import SearchEngine
+
+#: The streaming scenario's identity (shared by every stream test).
+STREAM_N_DOCS = 100
+STREAM_SEED = 29
+#: The evolver must not replay the corpus seed (dedup would drop
+#: every "new" page); see tests/golden/regen.py for the same pattern.
+STREAM_EVOLVE_SEED = 83
+STREAM_CONFIG = EtapConfig(top_k_per_query=40, negative_sample_size=600)
+
+
+def build_stream_web():
+    """The deterministic base web every stream scenario starts from."""
+    return build_web(STREAM_N_DOCS, CorpusConfig(seed=STREAM_SEED))
+
+
+def evolve_config() -> CorpusConfig:
+    return CorpusConfig(seed=STREAM_EVOLVE_SEED)
+
+
+@pytest.fixture(scope="session")
+def stream_base():
+    """One gathered + trained reference pipeline for the session."""
+    etap = Etap.from_web(build_stream_web(), config=STREAM_CONFIG)
+    etap.gather()
+    etap.train()
+    return etap
+
+
+@pytest.fixture(scope="session")
+def fresh_run(stream_base):
+    """Factory producing an independent ``(etap, web)`` base per call.
+
+    Each call returns a new :class:`Etap` over a new store/engine/web —
+    mutations from one streaming run (ingested docs, evolver state)
+    never leak into the next — while classifiers and annotation caches
+    are shared with the session's reference pipeline.
+    """
+
+    def factory():
+        web = build_stream_web()
+        store = DocumentStore()
+        engine = SearchEngine(text_engine=stream_base.text_engine)
+        for document in stream_base.store:
+            store.add(document)
+            engine.add_document(
+                document.doc_id, document.text, document.title
+            )
+        etap = Etap(
+            store=store,
+            engine=engine,
+            config=STREAM_CONFIG,
+            web=web,
+            text_engine=stream_base.text_engine,
+        )
+        etap.classifiers = dict(stream_base.classifiers)
+        return etap, web
+
+    return factory

@@ -1,0 +1,153 @@
+"""End-to-end `repro stream`: fresh run, simulated crash, resume.
+
+The CLI contract under test: a checkpoint directory is the whole unit
+of recovery.  Running the command twice against the same directory —
+once with ``--kill-after`` (exit 3), once without — must land on the
+same final checkpoint as a single uninterrupted run, with replayed
+alerts flagged recovered rather than re-delivered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import CheckpointStore
+
+DOCS = 120
+CYCLES = 2
+DOCS_PER_CYCLE = 6
+KILL_AFTER = 5  # inside cycle 1's WAL records at this scale
+
+
+def _stream_args(checkpoint_dir, *extra: str) -> list[str]:
+    return [
+        "stream",
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--docs", str(DOCS),
+        "--seed", "7",
+        "--cycles", str(CYCLES),
+        "--docs-per-cycle", str(DOCS_PER_CYCLE),
+        "--alert-threshold", "0.7",
+        *extra,
+    ]
+
+
+def _final_state(checkpoint_dir) -> tuple:
+    """The latest checkpoint, normalized for cross-run comparison.
+
+    ``recovered`` flags are stripped (they mark *how* an alert got
+    into the state, not *what* was alerted) — everything else must
+    match exactly.
+    """
+    latest = CheckpointStore(Path(checkpoint_dir) / "checkpoints").latest()
+    assert latest is not None, f"no checkpoint in {checkpoint_dir}"
+    checkpoint_id, state = latest
+    alerts = sorted(
+        tuple(sorted(
+            (key, value)
+            for key, value in alert.items()
+            if key != "recovered"
+        ))
+        for alert in state["alerts"]
+    )
+    return (
+        checkpoint_id,
+        state["cycle"],
+        state["watermark"],
+        state["generation"],
+        sorted(state["emitted_keys"]),
+        alerts,
+        sorted(doc["doc_id"] for doc in state["documents"]),
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    ws = tmp_path_factory.mktemp("stream-clean")
+    assert main(_stream_args(ws)) == 0
+    return ws
+
+
+class TestFreshRun:
+    def test_reports_progress_and_summary(
+        self, uninterrupted, tmp_path, capsys
+    ):
+        code = main(_stream_args(tmp_path / "ws"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained and saved 3 classifiers" in out
+        assert "cycle 1:" in out and "cycle 2:" in out
+        assert "[checkpoint]" in out
+        assert "stream done: cycle 2" in out
+
+    def test_checkpoint_dir_layout(self, uninterrupted):
+        assert (uninterrupted / "wal.jsonl").exists()
+        assert (uninterrupted / "checkpoints").is_dir()
+        models = list(
+            (uninterrupted / "models").glob("*.classifier.json")
+        )
+        assert len(models) == 3
+        assert _final_state(uninterrupted)[1] == CYCLES
+
+
+class TestCrashAndResume:
+    @pytest.fixture(scope="class")
+    def crashed_then_resumed(self, tmp_path_factory):
+        ws = tmp_path_factory.mktemp("stream-crash")
+        first = main(
+            _stream_args(ws, "--kill-after", str(KILL_AFTER))
+        )
+        second = main(_stream_args(ws))
+        return ws, first, second
+
+    def test_exit_codes(self, crashed_then_resumed):
+        _, first, second = crashed_then_resumed
+        assert first == 3, "simulated crash must exit 3"
+        assert second == 0, "resume must complete cleanly"
+
+    def test_resume_reuses_saved_classifiers(
+        self, crashed_then_resumed, tmp_path, capsys
+    ):
+        ws, _, _ = crashed_then_resumed
+        capsys.readouterr()
+        assert main(_stream_args(ws)) == 0  # third run: all done
+        out = capsys.readouterr().out
+        assert "loaded 3 classifiers" in out
+        assert "resumed from checkpoint" in out
+
+    def test_converges_to_the_uninterrupted_state(
+        self, crashed_then_resumed, uninterrupted
+    ):
+        ws, _, _ = crashed_then_resumed
+        assert _final_state(ws) == _final_state(uninterrupted)
+
+    def test_crash_message_points_at_recovery(
+        self, tmp_path, capsys
+    ):
+        ws = tmp_path / "ws"
+        code = main(_stream_args(ws, "--kill-after", "3"))
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "simulated crash after WAL record 3" in err
+        assert "--checkpoint-dir" in err
+
+
+class TestIdempotentRerun:
+    def test_rerun_after_completion_changes_nothing(
+        self, uninterrupted, capsys
+    ):
+        before = _final_state(uninterrupted)
+        capsys.readouterr()
+        assert main(_stream_args(uninterrupted)) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert _final_state(uninterrupted) == before
+
+
+class TestParser:
+    def test_checkpoint_dir_required(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--docs", "100"])

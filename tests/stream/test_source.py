@@ -1,0 +1,171 @@
+"""Stream sources: replayable seek, fixed splits, fault filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness import FaultyWeb, get_profile
+from repro.stream import (
+    EvolvingWebStream,
+    MicroBatch,
+    SequenceStream,
+    StreamDocument,
+    batches_of,
+)
+
+from tests.stream.conftest import build_stream_web, evolve_config
+
+
+def _batch_fingerprint(batch):
+    return (
+        batch.cycle,
+        tuple(
+            (d.doc_id, d.published_day, d.url, hash(d.text))
+            for d in batch.documents
+        ),
+    )
+
+
+def _doc(i: int, day: int = 1) -> StreamDocument:
+    return StreamDocument(
+        doc_id=f"d{i}",
+        url=f"http://x/{i}",
+        title=f"t{i}",
+        text=f"text {i}",
+        published_day=day,
+    )
+
+
+class TestEvolvingWebStream:
+    def test_batches_are_deterministic_across_instances(self):
+        first = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        second = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        for _ in range(3):
+            assert _batch_fingerprint(
+                first.next_batch()
+            ) == _batch_fingerprint(second.next_batch())
+
+    def test_seek_replays_to_the_same_tail(self):
+        reference = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        batches = [reference.next_batch() for _ in range(4)]
+
+        resumed = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        resumed.seek(2)
+        assert resumed.cycle == 2
+        for expected in batches[2:]:
+            assert _batch_fingerprint(
+                resumed.next_batch()
+            ) == _batch_fingerprint(expected)
+
+    def test_seek_backwards_rejected(self):
+        stream = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        stream.next_batch()
+        with pytest.raises(ValueError, match="backwards"):
+            stream.seek(0)
+
+    def test_event_time_advances_with_cycles(self):
+        stream = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=6
+        )
+        first = stream.next_batch()
+        second = stream.next_batch()
+        assert first.max_event_time is not None
+        assert second.max_event_time == first.max_event_time + 1
+
+    def test_docs_per_cycle_validated(self):
+        with pytest.raises(ValueError):
+            EvolvingWebStream(build_stream_web(), docs_per_cycle=0)
+
+    def test_faulty_web_gets_resilient_fetch_and_drops_are_counted(self):
+        web = FaultyWeb(
+            build_stream_web(), get_profile("lossy"), seed=5
+        )
+        stream = EvolvingWebStream(
+            web, config=evolve_config(), docs_per_cycle=10
+        )
+        assert stream.fetcher is not None
+        total_kept = 0
+        for _ in range(4):
+            batch = stream.next_batch()
+            total_kept += len(batch.documents)
+            assert len(batch.documents) + batch.dropped + batch.degraded == 10
+        assert stream.dropped > 0  # lossy profile actually loses pages
+        assert total_kept > 0
+
+    def test_healthy_web_keeps_every_published_doc(self):
+        stream = EvolvingWebStream(
+            build_stream_web(), config=evolve_config(), docs_per_cycle=7
+        )
+        batch = stream.next_batch()
+        assert len(batch.documents) == 7
+        assert batch.dropped == 0 and batch.degraded == 0
+
+
+class TestSequenceStream:
+    def test_renumbers_cycles_and_serves_in_order(self):
+        stream = SequenceStream([
+            MicroBatch(cycle=9, documents=(_doc(1),)),
+            MicroBatch(cycle=9, documents=(_doc(2),)),
+        ])
+        assert [b.cycle for b in stream.batches] == [1, 2]
+        assert stream.cycle == 0
+        assert stream.next_batch().documents[0].doc_id == "d1"
+        assert stream.cycle == 1
+
+    def test_seek_and_exhaustion(self):
+        stream = SequenceStream(
+            [MicroBatch(cycle=1, documents=(_doc(i),)) for i in range(3)]
+        )
+        stream.seek(2)
+        assert stream.next_batch().documents[0].doc_id == "d2"
+        with pytest.raises(StopIteration):
+            stream.next_batch()
+        with pytest.raises(ValueError, match="backwards"):
+            stream.seek(1)
+        with pytest.raises(ValueError, match="past end"):
+            stream.seek(99)
+
+    def test_iteration_consumes_remaining(self):
+        stream = SequenceStream(
+            [MicroBatch(cycle=1, documents=(_doc(i),)) for i in range(3)]
+        )
+        stream.seek(1)
+        assert [b.cycle for b in stream] == [2, 3]
+
+
+class TestBatchesOf:
+    def test_sizes_differ_by_at_most_one_and_order_is_preserved(self):
+        docs = [_doc(i) for i in range(10)]
+        stream = batches_of(docs, 3)
+        sizes = [len(b.documents) for b in stream.batches]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+        flattened = [
+            d.doc_id for b in stream.batches for d in b.documents
+        ]
+        assert flattened == [d.doc_id for d in docs]
+
+    def test_more_batches_than_docs_collapses(self):
+        docs = [_doc(i) for i in range(2)]
+        stream = batches_of(docs, 5)
+        assert len(stream) == 2
+        assert all(len(b.documents) == 1 for b in stream.batches)
+
+    def test_empty_and_invalid(self):
+        assert len(batches_of([], 3)) == 1  # one empty batch
+        with pytest.raises(ValueError):
+            batches_of([_doc(1)], 0)
+
+
+def test_max_event_time_of_empty_batch_is_none():
+    assert MicroBatch(cycle=1, documents=()).max_event_time is None

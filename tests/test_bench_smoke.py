@@ -148,6 +148,51 @@ def test_committed_ingest_bench_artifact_validates():
 
 
 @pytest.mark.bench_smoke
+def test_stream_bench_at_toy_scale(tmp_path):
+    """The streaming bench runs end to end — including its built-in
+    crash/resume leg — and its payload validates."""
+    import json
+
+    module = _load_bench_module("bench_stream")
+    out = tmp_path / "BENCH_stream.json"
+    payload = module.measure(
+        n_docs=120, seed=7, cycles=2, docs_per_cycle=8, out=out,
+    )
+    assert out.exists()
+    assert json.loads(out.read_text()) == payload
+    assert module.validate_payload(payload) == []
+    assert payload["throughput"]["streamed_docs"] == 16
+    assert payload["recovery"]["converged"] is True
+
+
+@pytest.mark.bench_smoke
+def test_committed_stream_bench_artifact_validates():
+    """benchmarks/BENCH_stream.json must validate AND meet the
+    streaming acceptance floors: alerts mint within a cycle of their
+    document's arrival (freshness p99 <= 1), sustained throughput is
+    non-trivial, and the crashed run converged to the uninterrupted
+    alert set in bounded time."""
+    import json
+
+    module = _load_bench_module("bench_stream")
+    artifact = BENCHMARKS_DIR / "BENCH_stream.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
+    throughput = payload["throughput"]
+    assert throughput["freshness_cycles_p99"] <= 1.0
+    # The committed run sustains ~400 docs/sec; 20 is a generous floor
+    # that still catches an accidental quadratic in the cycle path.
+    assert throughput["docs_per_sec"] >= 20.0
+    recovery = payload["recovery"]
+    assert recovery["converged"] is True
+    assert recovery["recovery_seconds"] <= 10.0
+    assert recovery["recovered_alerts"] > 0, (
+        "the crash landed before any alert was durable — move "
+        "kill_after so the recovery leg exercises WAL replay"
+    )
+
+
+@pytest.mark.bench_smoke
 def test_committed_serve_bench_artifact_validates():
     """benchmarks/BENCH_serve.json must match the bench's own schema,
     so a schema change cannot outrun the committed artifact."""
