@@ -41,16 +41,26 @@ from repro.corpus.web import build_web
 from repro.evaluation.reporting import ascii_table, format_float
 from repro.gather.store import DocumentStore
 from repro.obs import (
+    EXIT_CODES,
     NULL_EVENT_LOG,
     NULL_TRACER,
     AnyEventLog,
     AnyTracer,
     EventLog,
+    HealthMonitor,
     ProvenanceGraph,
+    SloEngine,
     StageReport,
+    Telemetry,
     Tracer,
+    default_slos,
     derive_gauges,
+    fetcher_probe,
+    gather_probe,
+    load_slo_config,
     parse_prometheus_text,
+    portal_probe,
+    processor_probe,
     prometheus_text,
     read_events,
     validate_jsonl,
@@ -132,6 +142,46 @@ def _degradation_note(report) -> str:
         f"{report.pages_degraded} degraded pages, "
         f"{report.dead_letters} dead-lettered]"
     )
+
+
+def _load_slos(value: str | None):
+    """SLO specs from a config path, or the committed defaults."""
+    if not value or value == "default":
+        return default_slos()
+    return load_slo_config(value)
+
+
+def _serve_queries() -> list[str]:
+    """The portal query mix every load-driving subcommand uses."""
+    return [
+        query
+        for driver in builtin_drivers()
+        for query in driver.smart_queries
+    ] + ["acquisition", "revenue growth", "new ceo appointment"]
+
+
+def _health_monitor(
+    specs,
+    telemetry,
+    event_log,
+    etap=None,
+    gather_report=None,
+    portal=None,
+    processor=None,
+) -> HealthMonitor:
+    """Assemble the standard monitor: SLO engine + component probes."""
+    engine = SloEngine(specs, telemetry, event_log=event_log)
+    monitor = HealthMonitor(engine, event_log=event_log)
+    if gather_report is not None:
+        monitor.register("ingest", gather_probe(gather_report))
+    gatherer = getattr(etap, "_gatherer", None) if etap else None
+    if gatherer is not None and gatherer.fetcher is not None:
+        monitor.register("fetch", fetcher_probe(gatherer.fetcher))
+    if portal is not None:
+        monitor.register("serve", portal_probe(portal))
+    if processor is not None:
+        monitor.register("stream", processor_probe(processor))
+    return monitor
 
 
 def _config_from_args(args: argparse.Namespace) -> EtapConfig:
@@ -389,11 +439,20 @@ def cmd_events(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """Run the demo pipeline and dump Prometheus-format metrics."""
+    """Run the demo pipeline and dump Prometheus-format metrics.
+
+    With ``--watch N`` the command keeps the pipeline alive after the
+    first dump: every N seconds (for ``--rounds`` rounds) it evolves
+    the web, polls the alert service, and re-renders — so a live run is
+    inspectable without a separate exporter.  Windowed-rate/quantile
+    gauges and stream/serve rollups ride along via
+    :func:`~repro.obs.export.derive_gauges`.
+    """
     tracer = _tracer(args)
     if not tracer.enabled:
         tracer = Tracer()
     event_log = _event_log(args)
+    telemetry = Telemetry()
     web = _maybe_faulty(
         build_web(args.docs, CorpusConfig(seed=args.seed)), args
     )
@@ -402,17 +461,44 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
         tracer=tracer,
         event_log=event_log,
+        telemetry=telemetry,
     )
     etap.gather()
     etap.train()
     events = etap.extract_trigger_events()
     etap.company_report(events)
-    text = prometheus_text(
-        tracer.registry,
-        gauges=derive_gauges(tracer.registry, event_log=event_log),
-    )
-    parse_prometheus_text(text)  # self-check: output must be parseable
-    print(text, end="")
+
+    def render() -> None:
+        text = prometheus_text(
+            tracer.registry,
+            gauges=derive_gauges(
+                tracer.registry, event_log=event_log,
+                telemetry=telemetry,
+            ),
+        )
+        parse_prometheus_text(text)  # self-check: must be parseable
+        print(text, end="")
+
+    render()
+    if args.watch is None:
+        return 0
+
+    import time
+
+    from repro.core.alerts import AlertService
+    from repro.corpus.evolve import WebEvolver
+
+    service = AlertService(etap)
+    evolver = WebEvolver(web, CorpusConfig(seed=args.seed + 1))
+    for round_no in range(1, args.rounds + 1):
+        if args.watch > 0:
+            time.sleep(args.watch)
+        evolver.advance(args.new_docs)
+        report = service.poll()
+        telemetry.record("metrics.alerts", n=len(report.alerts))
+        print(f"# watch round {round_no}: {report.new_documents} new "
+              f"docs, {len(report.alerts)} alerts")
+        render()
     return 0
 
 
@@ -423,22 +509,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     tracer = _tracer(args)
     if not tracer.enabled:
         tracer = Tracer()
+    event_log = _event_log(args)
+    telemetry = Telemetry()
     web = _maybe_faulty(
         build_web(args.docs, CorpusConfig(seed=args.seed)), args
     )
     etap = Etap.from_web(
         web, config=EtapConfig(workers=args.workers),
-        tracer=tracer, event_log=_event_log(args),
+        tracer=tracer, event_log=event_log, telemetry=telemetry,
     )
     report = etap.gather()
     note = _degradation_note(report)
     print(f"gathered {report.documents_stored} documents{note}")
     with AlertPortal.from_etap(etap, n_shards=args.shards) as portal:
-        queries = [
-            query
-            for driver in builtin_drivers()
-            for query in driver.smart_queries
-        ] + ["acquisition", "revenue growth", "new ceo appointment"]
+        queries = _serve_queries()
         generator = LoadGenerator(
             portal,
             queries,
@@ -468,9 +552,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            in payload["statuses"].items())],
             ],
         ))
+        slo_statuses = None
+        if args.slo_config:
+            monitor = _health_monitor(
+                _load_slos(args.slo_config), telemetry, event_log,
+                etap=etap, gather_report=report, portal=portal,
+            )
+            health = monitor.rollup()
+            slo_statuses = health.slos
+            print("\n" + health.render())
+            breaching = [s.name for s in health.slos if s.breaching]
+            if breaching:
+                print(f"slo breach(es): {', '.join(breaching)}")
         text = prometheus_text(
             tracer.registry,
-            gauges=derive_gauges(tracer.registry, portal=portal),
+            gauges=derive_gauges(
+                tracer.registry, portal=portal, telemetry=telemetry,
+                slo_statuses=slo_statuses,
+            ),
         )
         parse_prometheus_text(text)  # self-check
         serve_lines = [
@@ -503,6 +602,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     tracer = _tracer(args)
     event_log = _event_log(args)
+    telemetry = Telemetry()
     checkpoint_dir = Path(args.checkpoint_dir)
     checkpoint_dir.mkdir(parents=True, exist_ok=True)
     models_dir = checkpoint_dir / MODELS_DIR
@@ -518,9 +618,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
     etap = Etap.from_web(
         web,
         config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
-        tracer=tracer, event_log=event_log,
+        tracer=tracer, event_log=event_log, telemetry=telemetry,
     )
-    etap.gather()
+    gather_report = etap.gather()
     classifiers = load_classifiers(models_dir)
     if classifiers:
         etap.classifiers = classifiers
@@ -597,6 +697,145 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if source.dropped or source.degraded:
         print(f"  fetch degradation: {source.dropped} dropped, "
               f"{source.degraded} degraded pages excluded")
+    if args.slo_config:
+        monitor = _health_monitor(
+            _load_slos(args.slo_config), telemetry, event_log,
+            etap=etap, gather_report=gather_report,
+            processor=processor,
+        )
+        health = monitor.rollup()
+        print("\n" + health.render())
+        breaching = [s.name for s in health.slos if s.breaching]
+        if breaching:
+            print(f"slo breach(es): {', '.join(breaching)}")
+    return 0
+
+
+def _stand_up_portal(args: argparse.Namespace, telemetry):
+    """Gather a (possibly faulty) corpus and open a portal over it.
+
+    Shared by ``repro health`` and ``repro top``: search-only serving
+    needs no trained classifiers, so this is gather + index + portal.
+    Returns ``(etap, gather report, portal)``; caller closes the
+    portal.
+    """
+    from repro.serve import AlertPortal
+
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed)), args
+    )
+    etap = Etap.from_web(
+        web,
+        config=EtapConfig(top_k_per_query=80, negative_sample_size=1500),
+        tracer=_tracer(args),
+        event_log=_event_log(args),
+        telemetry=telemetry,
+    )
+    report = etap.gather()
+    portal = AlertPortal.from_etap(etap, n_shards=args.shards)
+    return etap, report, portal
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """One-shot health rollup: gather, serve a load slice, evaluate.
+
+    Exit code mirrors the overall status: 0 ok, 1 degraded,
+    2 critical — scriptable as a readiness/chaos check.
+    """
+    import json as json_module
+
+    from repro.serve import LoadGenerator
+
+    event_log = _event_log(args)
+    telemetry = Telemetry()
+    etap, report, portal = _stand_up_portal(args, telemetry)
+    with portal:
+        LoadGenerator(
+            portal,
+            _serve_queries(),
+            n_clients=args.clients,
+            n_queries=args.queries,
+            seed=args.seed,
+        ).run()
+        monitor = _health_monitor(
+            _load_slos(args.slo_config), telemetry, event_log,
+            etap=etap, gather_report=report, portal=portal,
+        )
+        health = monitor.rollup()
+    if args.json:
+        print(json_module.dumps(health.to_dict(), indent=2))
+    else:
+        print(health.render())
+    return EXIT_CODES[health.status]
+
+
+def _top_frame(
+    round_no: int, telemetry, engine, portal, fetcher
+) -> str:
+    """One rendered console frame: QPS, latency, budgets, breakers."""
+    stats = portal.stats()
+    sketch = telemetry.sketch("serve.latency")
+    budgets = engine.budgets()
+    lines = [
+        f"repro top — round {round_no}",
+        f"  qps(60s): {telemetry.rate('serve.requests', 60.0):8.1f}   "
+        f"p50: {sketch.quantile(0.5) * 1000:7.2f} ms   "
+        f"p99: {sketch.quantile(0.99) * 1000:7.2f} ms",
+        f"  cache hit rate: {stats['cache_hit_rate']:.2f}   "
+        f"queue depth: {stats['queue_depth']}   "
+        f"generation: {stats['generation']}",
+        "  budgets remaining: "
+        + "  ".join(
+            f"{name}={remaining * 100:.0f}%"
+            for name, remaining in budgets.items()
+        ),
+    ]
+    if fetcher is not None:
+        states = fetcher.breaker_states()
+        open_hosts = sum(
+            1 for state in states.values() if state == "open"
+        )
+        lines.append(
+            f"  breakers: {len(states)} host(s), {open_hosts} open   "
+            f"dead letters: {len(fetcher.dead_letters)}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live health console: periodic load + telemetry re-render."""
+    import time
+
+    from repro.serve import LoadGenerator
+
+    event_log = _event_log(args)
+    telemetry = Telemetry()
+    etap, _, portal = _stand_up_portal(args, telemetry)
+    gatherer = getattr(etap, "_gatherer", None)
+    fetcher = gatherer.fetcher if gatherer is not None else None
+    engine = SloEngine(
+        _load_slos(args.slo_config), telemetry, event_log=event_log
+    )
+    clear = not args.no_clear and sys.stdout.isatty()
+    queries = _serve_queries()
+    with portal:
+        for round_no in range(1, args.rounds + 1):
+            LoadGenerator(
+                portal,
+                queries,
+                n_clients=args.clients,
+                n_queries=args.queries_per_round,
+                seed=args.seed + round_no,
+            ).run()
+            engine.evaluate()
+            frame = _top_frame(
+                round_no, telemetry, engine, portal, fetcher
+            )
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            if args.refresh > 0 and round_no < args.rounds:
+                time.sleep(args.refresh)
     return 0
 
 
@@ -741,6 +980,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total queries issued across all clients")
     serve.add_argument("--clients", type=int, default=8,
                        help="concurrent closed-loop client threads")
+    serve.add_argument(
+        "--slo-config", default=None,
+        help="evaluate SLOs after the stress run and print a health "
+             "rollup ('default' for built-ins, or a yaml/json path)",
+    )
     serve.add_argument("--shards", type=int, default=4,
                        help="index shards (doc-id hash partitioned)")
     serve.add_argument(
@@ -784,6 +1028,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(exit code 3; resume by re-running)")
     stream.add_argument("--alert-threshold", type=float, default=0.9,
                         dest="alert_threshold")
+    stream.add_argument(
+        "--slo-config", default=None,
+        help="evaluate SLOs after the streaming run and print a "
+             "health rollup ('default' for built-ins, or a path)",
+    )
     stream.add_argument("--shards", type=int, default=2,
                         help="serving-index shards")
     stream.set_defaults(func=cmd_stream)
@@ -831,7 +1080,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--docs", type=int, default=800)
     metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="after the first dump, keep evolving the corpus and "
+             "re-dump every SECONDS (0 to skip sleeping)",
+    )
+    metrics.add_argument("--rounds", type=int, default=2,
+                         help="watch rounds to run before exiting")
+    metrics.add_argument("--new-docs", type=int, default=30,
+                         help="documents added to the corpus per "
+                              "watch round")
     metrics.set_defaults(func=cmd_metrics)
+
+    health = sub.add_parser(
+        "health", parents=[profiled, faulty],
+        help="gather, serve a load slice, and print a one-shot "
+             "ok/degraded/critical health rollup (exit code "
+             "0/1/2 mirrors the status)",
+    )
+    health.add_argument("--docs", type=int, default=400)
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--queries", type=int, default=60,
+                        help="portal queries to issue before the "
+                             "rollup")
+    health.add_argument("--clients", type=int, default=2)
+    health.add_argument("--shards", type=int, default=2)
+    health.add_argument(
+        "--slo-config", default="default",
+        help="'default' for built-in SLOs, or a yaml/json path",
+    )
+    health.add_argument("--json", action="store_true",
+                        help="emit the rollup as JSON instead of text")
+    health.set_defaults(func=cmd_health)
+
+    top = sub.add_parser(
+        "top", parents=[profiled, faulty],
+        help="live health console: per-round QPS, latency "
+             "quantiles, cache hit rate, error budgets, breakers",
+    )
+    top.add_argument("--docs", type=int, default=400)
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--rounds", type=int, default=3,
+                     help="frames to render before exiting")
+    top.add_argument("--refresh", type=float, default=1.0,
+                     help="seconds between frames (0 = no sleep)")
+    top.add_argument("--queries-per-round", type=int, default=40,
+                     help="portal queries issued per frame")
+    top.add_argument("--clients", type=int, default=2)
+    top.add_argument("--shards", type=int, default=2)
+    top.add_argument(
+        "--slo-config", default="default",
+        help="'default' for built-in SLOs, or a yaml/json path",
+    )
+    top.add_argument("--no-clear", action="store_true",
+                     help="never emit ANSI clear codes between frames")
+    top.set_defaults(func=cmd_top)
 
     return parser
 

@@ -56,6 +56,7 @@ from repro.gather.store import DocumentStore
 from repro.ml.noise import ClassifierFactory
 from repro.obs.drift import DriftBaseline, DriftMonitor, DriftThresholds
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchEngine
 from repro.text.engine import AnnotationEngine
@@ -102,6 +103,7 @@ class Etap:
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
         text_engine: AnnotationEngine | None = None,
+        telemetry: AnyTelemetry | None = None,
     ) -> None:
         self.config = config or EtapConfig()
         self.drivers = list(drivers) if drivers else builtin_drivers()
@@ -110,6 +112,7 @@ class Etap:
         self._web = web
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        self.telemetry = telemetry or NULL_TELEMETRY
         if engine.tracer is NULL_TRACER:
             engine.tracer = self.tracer
         if engine.event_log is NULL_EVENT_LOG:
@@ -148,6 +151,7 @@ class Etap:
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
         fetcher=None,
+        telemetry: AnyTelemetry | None = None,
     ) -> "Etap":
         """Build an ETAP whose gather step crawls the given web.
 
@@ -167,6 +171,7 @@ class Etap:
             fetcher=fetcher,
             text_engine=text_engine,
             workers=config.workers,
+            telemetry=telemetry,
         )
         etap = cls(
             store=gatherer.store,
@@ -177,6 +182,7 @@ class Etap:
             tracer=tracer,
             event_log=event_log,
             text_engine=text_engine,
+            telemetry=telemetry,
         )
         etap._gatherer = gatherer
         return etap

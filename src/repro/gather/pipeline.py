@@ -17,6 +17,7 @@ from repro.corpus.web import SyntheticWeb
 from repro.gather.dedup import NearDuplicateIndex
 from repro.gather.store import DocumentStore, StoredDocument
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.robustness.faults import FaultyWeb
 from repro.robustness.fetcher import ResilientFetcher
@@ -74,10 +75,12 @@ class DataGatherer:
         index_degraded: bool = False,
         text_engine: AnnotationEngine | None = None,
         workers: int = 1,
+        telemetry: AnyTelemetry | None = None,
     ) -> None:
         self.web = web
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.store = DocumentStore()
         #: Shared annotate-once engine; downstream stages (training,
         #: extraction, serve rebuilds) reuse its caches.
@@ -100,6 +103,7 @@ class DataGatherer:
                 seed=web.seed,
                 tracer=self.tracer,
                 event_log=self.event_log,
+                telemetry=self.telemetry,
             )
         self.fetcher = fetcher
         #: Degraded (truncated/garbled) pages are counted but, by
@@ -258,6 +262,12 @@ class DataGatherer:
                 "gather.degraded_skipped", degraded_skipped
             )
             self.tracer.count("ingest.documents_indexed", stored)
+            if self.telemetry.enabled:
+                self.telemetry.record("ingest.docs", n=stored)
+                self.telemetry.record("ingest.pages", n=len(crawl.pages))
+                self.telemetry.record(
+                    "ingest.dedup_skipped", n=skipped + near_skipped
+                )
             if self.text_engine is not None:
                 stats = self.text_engine.stats()
                 self.tracer.count("ingest.cache_hits", stats.hits)

@@ -47,10 +47,49 @@ from repro.obs.export import (
     derive_gauges,
     parse_prometheus_text,
     prometheus_text,
+    slo_gauges,
+    telemetry_gauges,
 )
-from repro.obs.metrics import Counter, Histogram, Registry
+from repro.obs.health import (
+    EXIT_CODES,
+    STATUS_CRITICAL,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    ComponentHealth,
+    HealthMonitor,
+    HealthReport,
+    drift_probe,
+    fetcher_probe,
+    gather_probe,
+    portal_probe,
+    processor_probe,
+)
+from repro.obs.metrics import (
+    HISTOGRAM_EXACT_LIMIT,
+    Counter,
+    Histogram,
+    Registry,
+)
 from repro.obs.provenance import ProvenanceChain, ProvenanceGraph
 from repro.obs.report import StageReport
+from repro.obs.slo import (
+    SloEngine,
+    SloSpec,
+    SloStatus,
+    default_slos,
+    load_slo_config,
+    parse_slo_config,
+)
+from repro.obs.timeseries import (
+    NULL_TELEMETRY,
+    AnyTelemetry,
+    NullTelemetry,
+    P2Quantile,
+    QuantileSketch,
+    Telemetry,
+    TimeSeries,
+    WindowAggregate,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     AnyTracer,
@@ -87,8 +126,37 @@ __all__ = [
     "prometheus_text",
     "parse_prometheus_text",
     "derive_gauges",
+    "telemetry_gauges",
+    "slo_gauges",
     "DriftBaseline",
     "DriftMonitor",
     "DriftReport",
     "DriftThresholds",
+    "TimeSeries",
+    "WindowAggregate",
+    "P2Quantile",
+    "QuantileSketch",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "AnyTelemetry",
+    "HISTOGRAM_EXACT_LIMIT",
+    "SloSpec",
+    "SloStatus",
+    "SloEngine",
+    "default_slos",
+    "load_slo_config",
+    "parse_slo_config",
+    "ComponentHealth",
+    "HealthMonitor",
+    "HealthReport",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_CRITICAL",
+    "EXIT_CODES",
+    "fetcher_probe",
+    "portal_probe",
+    "processor_probe",
+    "gather_probe",
+    "drift_probe",
 ]

@@ -93,6 +93,13 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
         {"checkpoint_id", "cycle", "wal_records_replayed"}
     ),
     "late_arrival": frozenset({"doc_id", "published_day", "watermark"}),
+    # SLO engine + health monitor (docs/OBSERVABILITY.md).  The system
+    # meta-alerts on itself through the same flight recorder it uses
+    # for pipeline lineage.
+    "slo_breach": frozenset(
+        {"slo", "objective", "window", "burn_rate", "budget_remaining"}
+    ),
+    "health_transition": frozenset({"status", "previous", "reasons"}),
 }
 
 _ENVELOPE_FIELDS = frozenset(

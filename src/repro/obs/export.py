@@ -130,11 +130,64 @@ def parse_prometheus_text(
     return samples
 
 
+def telemetry_gauges(
+    telemetry,
+    windows: tuple[float, ...] = (60.0, 300.0),
+) -> dict[str, float]:
+    """Windowed-rate + quantile gauges from a Telemetry hub.
+
+    * ``window_rate{series="...",window="60s"}`` — per-second event
+      rate over each trailing window;
+    * ``window_mean{series="...",window="60s"}`` — windowed mean value;
+    * ``quantile{sketch="...",q="0.99"}`` — lifetime sketch quantiles.
+
+    Empty under :data:`~repro.obs.timeseries.NULL_TELEMETRY`.
+    """
+    gauges: dict[str, float] = {}
+    if telemetry is None or not telemetry.enabled:
+        return gauges
+    now = telemetry.clock.now()
+    for name in telemetry.series_names:
+        series = telemetry.series(name)
+        for seconds in windows:
+            aggregate = series.window(seconds, now=now)
+            suffix = f'series="{name}",window="{int(seconds)}s"'
+            gauges[f"window_rate{{{suffix}}}"] = aggregate.rate
+            if aggregate.count:
+                gauges[f"window_mean{{{suffix}}}"] = aggregate.mean
+    for name in telemetry.sketch_names:
+        sketch = telemetry.sketch(name)
+        for q in sketch.quantiles:
+            gauges[f'quantile{{sketch="{name}",q="{q:g}"}}'] = (
+                sketch.quantile(q)
+            )
+    return gauges
+
+
+def slo_gauges(statuses) -> dict[str, float]:
+    """Budget/burn gauges from :class:`~repro.obs.slo.SloStatus` list.
+
+    * ``slo_budget_remaining{slo="..."}`` — error budget fraction left;
+    * ``slo_burn_fast`` / ``slo_burn_slow{slo="..."}`` — burn rates;
+    * ``slo_breaching{slo="..."}`` — 1 when paging, else 0.
+    """
+    gauges: dict[str, float] = {}
+    for status in statuses:
+        label = f'{{slo="{status.name}"}}'
+        gauges[f"slo_budget_remaining{label}"] = status.budget_remaining
+        gauges[f"slo_burn_fast{label}"] = status.burn_fast
+        gauges[f"slo_burn_slow{label}"] = status.burn_slow
+        gauges[f"slo_breaching{label}"] = 1.0 if status.breaching else 0.0
+    return gauges
+
+
 def derive_gauges(
     registry: Registry,
     scheduler=None,
     event_log=None,
     portal=None,
+    telemetry=None,
+    slo_statuses=None,
 ) -> dict[str, float]:
     """Pipeline-level gauges computed from recorded counters.
 
@@ -149,7 +202,12 @@ def derive_gauges(
       layer health, from the ``serve.*`` counters;
     * ``serve_queue_depth`` / ``serve_generation`` /
       ``serve_shard_docs{shard="..."}`` — live portal state, when an
-      :class:`~repro.serve.portal.AlertPortal` is provided.
+      :class:`~repro.serve.portal.AlertPortal` is provided;
+    * ``stream_late_ratio`` / ``stream_dedup_ratio`` /
+      ``stream_alerts_per_batch`` — streaming rollups from the
+      ``stream.*`` counters;
+    * plus :func:`telemetry_gauges` when ``telemetry`` is given and
+      :func:`slo_gauges` when ``slo_statuses`` is given.
     """
     counters = registry.counters
     gauges: dict[str, float] = {}
@@ -198,5 +256,23 @@ def derive_gauges(
             gauges[f'serve_shard_docs{{shard="{shard}"}}'] = float(
                 n_docs
             )
+
+    ingested = counters.get("stream.docs_ingested", 0)
+    deduped = counters.get("stream.docs_deduped", 0)
+    late = counters.get("stream.late_arrivals", 0)
+    arrived = ingested + deduped + late
+    if arrived:
+        gauges["stream_late_ratio"] = late / arrived
+        gauges["stream_dedup_ratio"] = deduped / arrived
+    batches = counters.get("stream.batches", 0)
+    if batches:
+        gauges["stream_alerts_per_batch"] = (
+            counters.get("stream.alerts_minted", 0) / batches
+        )
+
+    if telemetry is not None:
+        gauges.update(telemetry_gauges(telemetry))
+    if slo_statuses is not None:
+        gauges.update(slo_gauges(slo_statuses))
 
     return gauges

@@ -26,6 +26,7 @@ from urllib.parse import urlparse
 
 from repro.corpus.web import Page
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.robustness.faults import DeadLinkError, FetchError
 
@@ -167,6 +168,7 @@ class ResilientFetcher:
         seed: int = 0,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        telemetry: AnyTelemetry | None = None,
     ) -> None:
         self.web = web
         self.policy = policy or RetryPolicy()
@@ -175,6 +177,7 @@ class ResilientFetcher:
         self.seed = seed
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._breakers: dict[str, CircuitBreaker] = {}
         self.dead_letters: list[DeadLetter] = []
         # Webs with a simulated clock (FaultyWeb) share it, so backoff
@@ -220,6 +223,21 @@ class ResilientFetcher:
         breaker) land in :attr:`dead_letters` and come back as a
         non-``ok`` outcome the caller can step over.
         """
+        outcome = self._fetch(url)
+        if self.telemetry.enabled:
+            # Outcome-level, not attempt-level: a URL that succeeds
+            # after retries should not count against availability.
+            record = self.telemetry.record
+            record("fetch.outcomes")
+            if outcome.ok:
+                record("fetch.ok")
+            else:
+                record("fetch.dead_letters")
+            if outcome.retries:
+                record("fetch.retries", n=outcome.retries)
+        return outcome
+
+    def _fetch(self, url: str) -> FetchOutcome:
         host = urlparse(url).netloc
         breaker = self.breaker_of(host)
         outcome = FetchOutcome(url=url)

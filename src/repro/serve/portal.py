@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.core.alerts import Alert
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchResult
 from repro.serve.admission import AdmissionController
@@ -102,12 +103,14 @@ class AlertPortal:
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
         text_engine=None,
+        telemetry: AnyTelemetry | None = None,
     ) -> None:
         self.store = store
         self.alert_service = alert_service
         self.clock = clock or default_clock()
         self.tracer = tracer or NULL_TRACER
         self.event_log = event_log or NULL_EVENT_LOG
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.serve_stale_on_overload = serve_stale_on_overload
         self.shards = ShardedIndex(
             n_shards=n_shards,
@@ -143,6 +146,9 @@ class AlertPortal:
         kwargs.setdefault("event_log", etap.event_log)
         kwargs.setdefault(
             "text_engine", getattr(etap, "text_engine", None)
+        )
+        kwargs.setdefault(
+            "telemetry", getattr(etap, "telemetry", None)
         )
         portal = cls(etap.store, alert_service=alert_service, **kwargs)
         portal.refresh()
@@ -294,6 +300,17 @@ class AlertPortal:
     ) -> QueryResponse:
         latency = max(0.0, clock_now(self.clock) - started)
         self.tracer.observe("serve.latency_seconds", latency)
+        if self.telemetry.enabled:
+            # One windowed request per response, whatever the status:
+            # serve-availability = serve.ok / serve.requests.
+            self.telemetry.record("serve.requests")
+            if status in (STATUS_OK, STATUS_STALE):
+                self.telemetry.record("serve.ok")
+            elif status == STATUS_REJECTED:
+                self.telemetry.record("serve.rejected")
+            if cached:
+                self.telemetry.record("serve.cache_hits")
+            self.telemetry.observe("serve.latency", latency)
         self.event_log.emit(
             "query_served",
             client_id=client_id,

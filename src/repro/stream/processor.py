@@ -46,6 +46,7 @@ from repro.core.persistence import CheckpointStore, WriteAheadLog
 from repro.core.ranking import make_trigger_events, rank_events
 from repro.gather.store import StoredDocument
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
+from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.serve.shards import ShardedIndex
 from repro.stream.source import DocumentStream, MicroBatch, StreamDocument
@@ -167,6 +168,7 @@ class StreamProcessor:
         n_shards: int = 2,
         tracer: AnyTracer | None = None,
         event_log: AnyEventLog | None = None,
+        telemetry: AnyTelemetry | None = None,
         _build_index: bool = True,
     ) -> None:
         if not etap.classifiers:
@@ -190,6 +192,10 @@ class StreamProcessor:
         self.event_log = (
             event_log if event_log is not None else etap.event_log
         ) or NULL_EVENT_LOG
+        self.telemetry = (
+            telemetry if telemetry is not None
+            else getattr(etap, "telemetry", None)
+        ) or NULL_TELEMETRY
         #: Serve-facing delta-generation index over the full store.
         self.index = ShardedIndex(
             n_shards=n_shards,
@@ -236,6 +242,9 @@ class StreamProcessor:
             n_docs=len(batch.documents),
             watermark=self.watermark,
         )
+        batch_started = (
+            self.telemetry.clock.now() if self.telemetry.enabled else 0.0
+        )
         with self.tracer.span("stream.batch") as span:
             on_time: list[StreamDocument] = []
             n_late = 0
@@ -273,6 +282,23 @@ class StreamProcessor:
             self.checkpoint()
             checkpointed = True
 
+        if self.telemetry.enabled:
+            telemetry = self.telemetry
+            telemetry.record("stream.docs", n=len(ingested))
+            telemetry.record("stream.late", n=n_late)
+            telemetry.record("stream.alerts", n=len(alerts))
+            telemetry.observe(
+                "stream.batch_seconds",
+                telemetry.clock.now() - batch_started,
+            )
+            if self.watermark is not None:
+                # Freshness at ingest: how stale each accepted document
+                # already was relative to the event-time watermark.
+                for document in ingested:
+                    telemetry.observe(
+                        "stream.freshness_days",
+                        max(0, self.watermark - document.published_day),
+                    )
         self.tracer.count("stream.batches")
         self.tracer.count("stream.docs_ingested", len(ingested))
         self.tracer.count(

@@ -122,6 +122,18 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "published_day": 88,
         "watermark": 93,
     },
+    "slo_breach": {
+        "slo": "fetch-availability",
+        "objective": "availability",
+        "window": "fast+slow",
+        "burn_rate": 4.94,
+        "budget_remaining": 0.0,
+    },
+    "health_transition": {
+        "status": "critical",
+        "previous": "ok",
+        "reasons": ["fetch: slo fetch-availability page"],
+    },
 }
 
 

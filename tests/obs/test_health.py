@@ -1,0 +1,215 @@
+"""Health monitor: probes, SLO mapping, transitions, probe factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.events import EventLog
+from repro.obs.health import (
+    EXIT_CODES,
+    STATUS_CRITICAL,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    ComponentHealth,
+    HealthMonitor,
+    drift_probe,
+    fetcher_probe,
+    gather_probe,
+    processor_probe,
+    worst,
+)
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.timeseries import Telemetry
+
+
+def ok_probe(component):
+    return lambda: ComponentHealth(component, STATUS_OK)
+
+
+def make_engine(telemetry, **kwargs):
+    spec = SloSpec(
+        name="avail",
+        objective="availability",
+        target=0.9,
+        component="fetch",
+        good_series="ok",
+        total_series="total",
+    )
+    return SloEngine([spec], telemetry, **kwargs)
+
+
+class TestStatusAlgebra:
+    def test_worst(self):
+        assert worst() == STATUS_OK
+        assert worst(STATUS_OK, STATUS_OK) == STATUS_OK
+        assert worst(STATUS_OK, STATUS_DEGRADED) == STATUS_DEGRADED
+        assert (
+            worst(STATUS_DEGRADED, STATUS_CRITICAL, STATUS_OK)
+            == STATUS_CRITICAL
+        )
+
+    def test_exit_codes(self):
+        assert EXIT_CODES[STATUS_OK] == 0
+        assert EXIT_CODES[STATUS_DEGRADED] == 1
+        assert EXIT_CODES[STATUS_CRITICAL] == 2
+
+    def test_component_health_validates_status(self):
+        with pytest.raises(ValueError, match="unknown status"):
+            ComponentHealth("x", "meh")
+
+
+class TestRollup:
+    def test_empty_monitor_is_ok(self):
+        report = HealthMonitor().rollup()
+        assert report.status == STATUS_OK
+        assert report.components == ()
+        assert report.slos == ()
+
+    def test_overall_is_worst_component(self):
+        monitor = HealthMonitor()
+        monitor.register("a", ok_probe("a"))
+        monitor.register(
+            "b", lambda: ComponentHealth("b", STATUS_DEGRADED, "meh")
+        )
+        report = monitor.rollup()
+        assert report.status == STATUS_DEGRADED
+        assert report.reasons == ["b: meh"]
+
+    def test_broken_probe_is_critical(self):
+        monitor = HealthMonitor()
+        def explode():
+            raise RuntimeError("boom")
+        monitor.register("a", explode)
+        report = monitor.rollup()
+        assert report.status == STATUS_CRITICAL
+        (component,) = report.components
+        assert "probe failed: boom" in component.reason
+
+    def test_paging_slo_forces_component_critical(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock, interval=1.0)
+        monitor = HealthMonitor(make_engine(telemetry), clock=clock)
+        monitor.register("fetch", ok_probe("fetch"))
+        telemetry.record("total", n=10)  # 100% errors -> page
+        report = monitor.rollup()
+        assert report.status == STATUS_CRITICAL
+        (fetch,) = report.components
+        assert fetch.status == STATUS_CRITICAL
+        assert "slo avail page" in fetch.reason
+        (slo,) = report.slos
+        assert slo.breaching
+
+    def test_slo_creates_component_without_probe(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock, interval=1.0)
+        monitor = HealthMonitor(make_engine(telemetry), clock=clock)
+        telemetry.record("total", n=10)
+        report = monitor.rollup()
+        assert [c.component for c in report.components] == ["fetch"]
+
+    def test_slo_never_downgrades_a_probe_verdict(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock, interval=1.0)
+        monitor = HealthMonitor(make_engine(telemetry), clock=clock)
+        monitor.register(
+            "fetch",
+            lambda: ComponentHealth("fetch", STATUS_CRITICAL, "down"),
+        )
+        # SLO is ok (no traffic) but the probe says critical.
+        report = monitor.rollup()
+        assert report.status == STATUS_CRITICAL
+        assert report.components[0].reason == "down"
+
+    def test_transition_events_are_edge_triggered(self):
+        log = EventLog()
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock, interval=1.0)
+        monitor = HealthMonitor(
+            make_engine(telemetry), event_log=log, clock=clock
+        )
+        monitor.rollup()  # first rollup: no previous -> no event
+        monitor.rollup()  # steady ok -> no event
+        assert log.events("health_transition") == []
+
+        telemetry.record("total", n=10)
+        monitor.rollup()  # ok -> critical
+        (event,) = log.events("health_transition")
+        assert event.payload["status"] == STATUS_CRITICAL
+        assert event.payload["previous"] == STATUS_OK
+        assert event.payload["reasons"]
+
+        clock.advance(7200.0)  # windows drain -> recovery
+        monitor.rollup()
+        events = log.events("health_transition")
+        assert len(events) == 2
+        assert events[-1].payload["status"] == STATUS_OK
+
+    def test_render_and_to_dict(self):
+        monitor = HealthMonitor()
+        monitor.register("a", ok_probe("a"))
+        report = monitor.rollup()
+        text = report.render()
+        assert text.startswith("overall: ok")
+        assert "a" in text
+        payload = report.to_dict()
+        assert payload["status"] == STATUS_OK
+        assert payload["components"][0]["component"] == "a"
+        assert payload["slos"] == []
+
+
+class TestProbeFactories:
+    def test_fetcher_probe(self):
+        class FakeFetcher:
+            dead_letters = ["u1", "u2"]
+            def breaker_states(self):
+                return {"a.com": "open", "b.com": "closed"}
+
+        health = fetcher_probe(FakeFetcher())()
+        assert health.status == STATUS_DEGRADED
+        assert "a.com" in health.reason
+        assert health.details["dead_letters"] == 2
+
+        class QuietFetcher:
+            dead_letters = []
+            def breaker_states(self):
+                return {"a.com": "closed"}
+
+        assert fetcher_probe(QuietFetcher())().status == STATUS_OK
+
+    def test_processor_probe(self):
+        class FakeProcessor:
+            late_arrivals = ["d1"]
+            cycle = 3
+
+        health = processor_probe(FakeProcessor())()
+        assert health.status == STATUS_DEGRADED
+        assert health.details["late_arrivals"] == 1
+
+    def test_gather_probe(self):
+        class EmptyReport:
+            documents_stored = 0
+            pages_failed = 0
+            dead_letters = 0
+
+        assert gather_probe(EmptyReport())().status == STATUS_CRITICAL
+
+        class LossyReport:
+            documents_stored = 100
+            pages_failed = 5
+            dead_letters = 5
+
+        health = gather_probe(LossyReport())()
+        assert health.status == STATUS_DEGRADED
+        assert "5 failed page(s)" in health.reason
+
+    def test_drift_probe(self):
+        class Monitor:
+            def __init__(self, breached):
+                self.breached = breached
+
+        probe = drift_probe({"pos": Monitor(True), "len": Monitor(False)})
+        health = probe()
+        assert health.status == STATUS_DEGRADED
+        assert health.details["breached"] == ["pos"]
+        assert drift_probe({})().status == STATUS_OK

@@ -69,6 +69,73 @@ class TestHistogram:
         }
 
 
+class TestHistogramBoundedMemory:
+    """The unbounded ``values`` list now spills to a bounded sketch."""
+
+    def test_small_histograms_stay_exact(self):
+        histogram = Histogram("h", max_exact=100)
+        values = [float((31 * i) % 97) for i in range(99)]
+        for value in values:
+            histogram.observe(value)
+        assert histogram.exact
+        assert histogram.values == values  # raw list survives small-n
+        ordered = sorted(values)
+        for p in (10, 50, 90, 95, 99):
+            rank = max(int(-(-p * len(ordered) // 100)) - 1, 0)
+            assert histogram.percentile(p) == ordered[rank]
+
+    def test_spill_empties_the_raw_list(self):
+        histogram = Histogram("h", max_exact=50)
+        for value in range(200):
+            histogram.observe(float(value))
+        assert not histogram.exact
+        assert histogram.values == []  # memory released at spill
+        assert histogram.count == 200
+        assert histogram.total == sum(range(200))
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 199.0
+
+    def test_memory_is_bounded_past_the_threshold(self):
+        histogram = Histogram("h", max_exact=64)
+        for value in range(10_000):
+            histogram.observe(float(value % 500))
+        assert histogram.values == []
+        assert not histogram.exact
+
+    def test_post_spill_percentiles_stay_close(self):
+        """Sketch percentiles track exact nearest-rank within ~2 ranks.
+
+        A shuffled 0..999 ramp keeps the reference unambiguous: rank
+        error directly maps to value error.
+        """
+        import random
+
+        values = [float(i) for i in range(1000)]
+        random.Random(7).shuffle(values)
+        histogram = Histogram("h", max_exact=128)
+        for value in values:
+            histogram.observe(value)
+        assert not histogram.exact
+        for p in (50, 90, 95, 99):
+            exact = float(10 * p - 1)  # nearest-rank on 0..999
+            assert histogram.percentile(p) == pytest.approx(
+                exact, abs=20.0
+            )
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(100) == 999.0
+
+    def test_summary_keys_survive_spill(self):
+        histogram = Histogram("h", max_exact=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "total", "mean", "min", "max", "p50", "p95",
+        }
+        assert summary["count"] == 5
+        assert summary["total"] == 15.0
+
+
 class TestRegistry:
     def test_counters_created_on_first_use(self):
         registry = Registry()

@@ -25,6 +25,9 @@ from repro.corpus.web import build_web
 from repro.gather.dedup import NearDuplicateIndex
 from repro.gather.pipeline import DataGatherer
 from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.obs.health import HealthMonitor
+from repro.obs.slo import SloEngine, default_slos
+from repro.obs.timeseries import NULL_TELEMETRY, Telemetry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.robustness.fetcher import ResilientFetcher
 from repro.search.crawler import FocusedCrawler
@@ -35,6 +38,9 @@ def test_fresh_recorders_are_truthy():
     assert EventLog(), "an empty EventLog must be truthy"
     assert Tracer(), "a fresh Tracer must be truthy"
     assert len(EventLog()) == 0  # falsy-prone without __bool__
+    assert Telemetry(), "a fresh Telemetry must be truthy"
+    assert NULL_TELEMETRY, "NULL_TELEMETRY shares the truthy contract"
+    assert not NULL_TELEMETRY.enabled  # gate on .enabled, not bool()
 
 
 WEB = build_web(30, CorpusConfig(seed=2))
@@ -77,6 +83,10 @@ def recorder_keepers():
     yield "AdmissionController", lambda t, e: _admission(t)
     yield "AlertPortal", lambda t, e: _portal(etap, t, e)
     yield "StreamProcessor", lambda t, e: _stream_processor(etap, t, e)
+    yield "SloEngine", lambda t, e: SloEngine(
+        default_slos(), Telemetry(), event_log=e
+    )
+    yield "HealthMonitor", lambda t, e: HealthMonitor(event_log=e)
 
 
 def _training_generator(gatherer, tracer):
@@ -198,4 +208,98 @@ def test_every_recorder_constructor_is_covered():
         f"constructors taking tracer/event_log missing from this "
         f"audit: {sorted(unaudited)} — add them to recorder_keepers() "
         "(or exempt with a reason)"
+    )
+
+
+# -- telemetry wiring ---------------------------------------------------------
+#
+# The windowed-telemetry hub follows the same contract: a fresh
+# ``Telemetry()`` (no observations yet) is truthy, so ``telemetry or
+# NULL_TELEMETRY`` keeps it; sites that skip recording must gate on
+# ``.enabled``, never on truthiness.
+
+
+def telemetry_keepers():
+    """(name, factory) for every constructor taking ``telemetry``."""
+    etap = Etap.from_web(build_web(30, CorpusConfig(seed=2)))
+    yield "ResilientFetcher", lambda tel: ResilientFetcher(
+        WEB, telemetry=tel
+    )
+    yield "DataGatherer", lambda tel: DataGatherer(WEB, telemetry=tel)
+    yield "Etap", lambda tel: Etap.from_web(WEB, telemetry=tel)
+    yield "AlertPortal", lambda tel: _portal_with_telemetry(etap, tel)
+    yield "StreamProcessor", lambda tel: _stream_with_telemetry(
+        etap, tel
+    )
+    yield "SloEngine", lambda tel: SloEngine(default_slos(), tel)
+
+
+def _portal_with_telemetry(etap, telemetry):
+    from repro.serve.portal import AlertPortal
+
+    portal = AlertPortal(etap.store, n_shards=1, telemetry=telemetry)
+    portal.close()
+    return portal
+
+
+def _stream_with_telemetry(etap, telemetry):
+    from repro.stream import StreamProcessor
+
+    etap.classifiers.setdefault("stub", object())
+    return StreamProcessor(etap, telemetry=telemetry)
+
+
+@pytest.mark.parametrize(
+    "name,factory", list(telemetry_keepers()), ids=lambda v: v
+    if isinstance(v, str) else ""
+)
+def test_constructors_keep_fresh_telemetry(name, factory):
+    telemetry = Telemetry()
+    obj = factory(telemetry)
+    kept = getattr(obj, "telemetry", None)
+    assert kept is telemetry, (
+        f"{name} replaced a fresh Telemetry with {kept!r}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name,factory", list(telemetry_keepers()), ids=lambda v: v
+    if isinstance(v, str) else ""
+)
+def test_constructors_default_to_null_telemetry(name, factory):
+    if name == "SloEngine":
+        pytest.skip("SloEngine requires a real telemetry hub")
+    obj = factory(None)
+    assert obj.telemetry is NULL_TELEMETRY, (
+        f"{name} without telemetry= must wire NULL_TELEMETRY, "
+        f"got {obj.telemetry!r}"
+    )
+
+
+def test_every_telemetry_constructor_is_covered():
+    """Inspect-scan mirror of the recorder audit for ``telemetry``."""
+    import sys
+
+    audited = {name for name, _ in telemetry_keepers()}
+    exempt = {
+        # The hub and its null twin take no telemetry themselves.
+        "Telemetry", "NullTelemetry",
+    }
+    found = set()
+    for module_name, module in list(sys.modules.items()):
+        if not module_name.startswith("repro"):
+            continue
+        for _, cls in inspect.getmembers(module, inspect.isclass):
+            if cls.__module__ != module_name:
+                continue
+            try:
+                params = inspect.signature(cls.__init__).parameters
+            except (TypeError, ValueError):  # pragma: no cover
+                continue
+            if "telemetry" in params:
+                found.add(cls.__name__)
+    unaudited = found - audited - exempt
+    assert not unaudited, (
+        f"constructors taking telemetry missing from this audit: "
+        f"{sorted(unaudited)} — add them to telemetry_keepers()"
     )

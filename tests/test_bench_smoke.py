@@ -193,6 +193,47 @@ def test_committed_stream_bench_artifact_validates():
 
 
 @pytest.mark.bench_smoke
+def test_slo_overhead_bench_at_toy_scale(tmp_path):
+    """The SLO telemetry bench runs, emits its JSON, and the floors
+    hold at toy scale (the off path is a no-op; the sketch does not
+    grow between its small and large runs)."""
+    import json
+
+    module = _load_bench_module("bench_slo_overhead")
+    out = tmp_path / "BENCH_slo.json"
+    payload = module.measure(
+        n_observations=10_000, timing_calls=20_000, out=out,
+    )
+    assert out.exists()
+    assert json.loads(out.read_text()) == payload
+    assert module.validate_payload(payload) == []
+    assert payload["sketch_growth_ratio"] <= 1.01
+    assert payload["null_record_seconds_per_call"] < 5e-6
+
+
+@pytest.mark.bench_smoke
+def test_committed_slo_bench_artifact_validates():
+    """benchmarks/BENCH_slo.json must validate AND meet the PR's
+    acceptance floors: the sketch is constant-size at 1M observations
+    (within 1% of its 1k-observation footprint, and a rounding error
+    next to the raw list it replaces) and recording overhead stays
+    under the declared per-call floors."""
+    import json
+
+    module = _load_bench_module("bench_slo_overhead")
+    artifact = BENCHMARKS_DIR / "BENCH_slo.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
+    assert payload["n_observations"] == 1_000_000
+    assert payload["sketch_growth_ratio"] <= 1.01
+    assert payload["sketch_vs_raw_ratio"] <= 0.01
+    assert (
+        payload["real_record_seconds_per_call"]
+        < payload["floors"]["real_record_seconds_per_call"]
+    )
+
+
+@pytest.mark.bench_smoke
 def test_committed_serve_bench_artifact_validates():
     """benchmarks/BENCH_serve.json must match the bench's own schema,
     so a schema change cannot outrun the committed artifact."""

@@ -368,6 +368,99 @@ class TestFlightRecorder:
             for name, labels in samples
         )
 
+    def test_metrics_includes_windowed_telemetry(self, capsys):
+        from repro.obs.export import parse_prometheus_text
+
+        code = main(["metrics", "--docs", "200", "--seed", "7"])
+        assert code == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        windowed = {
+            dict(labels).get("series")
+            for name, labels in samples
+            if name == "repro_window_rate"
+        }
+        assert "ingest.docs" in windowed
+        assert "ingest.pages" in windowed
+
+    def test_metrics_watch_redumps_each_round(self, capsys):
+        code = main([
+            "metrics", "--docs", "200", "--seed", "7",
+            "--watch", "0", "--rounds", "2", "--new-docs", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("# watch round") == 2
+        # Each dump must still parse; the counters grow monotonically.
+        from repro.obs.export import parse_prometheus_text
+
+        dumps = out.split("# watch round")
+        assert len(dumps) == 3
+        first = parse_prometheus_text(dumps[0])
+        last = parse_prometheus_text(
+            "\n".join(dumps[-1].splitlines()[1:])
+        )
+        key = ("repro_gather_documents_stored", ())
+        assert last[key] >= first[key]
+
+
+class TestHealthCommand:
+    def test_health_text_rollup(self, capsys):
+        code = main([
+            "health", "--docs", "200", "--seed", "7",
+            "--queries", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall: ok" in out
+        assert "fetch-availability" in out
+
+    def test_health_accepts_committed_yaml_config(self, capsys):
+        code = main([
+            "health", "--docs", "200", "--seed", "7",
+            "--queries", "20", "--slo-config", "configs/slos.yaml",
+        ])
+        assert code == 0
+        assert "stream-freshness" in capsys.readouterr().out
+
+
+class TestServeSloConfig:
+    def test_serve_prints_rollup_and_slo_gauges(self, capsys):
+        from repro.obs.export import parse_prometheus_text
+
+        code = main([
+            "serve", "--docs", "150", "--seed", "7",
+            "--queries", "30", "--clients", "2",
+            "--slo-config", "default",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall:" in out
+        # The serve.* metric dump carries the SLO budget/burn gauges.
+        block = out.split("serve.* metrics:")[1]
+        samples = parse_prometheus_text(block)
+        slo_names = {
+            dict(labels).get("slo")
+            for name, labels in samples
+            if name == "repro_slo_budget_remaining"
+        }
+        assert "serve-latency-p99" in slo_names
+
+
+class TestTopCommand:
+    def test_top_renders_frames(self, capsys):
+        code = main([
+            "top", "--docs", "200", "--seed", "7", "--rounds", "2",
+            "--refresh", "0", "--queries-per-round", "15",
+            "--no-clear",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top — round") == 2
+        assert "qps(60s):" in out
+        assert "p99:" in out
+        assert "budgets remaining:" in out
+        assert "cache hit rate:" in out
+
 
 class TestFaultProfile:
     """End-to-end `--fault-profile`: gather, validate events, metrics."""
