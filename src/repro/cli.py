@@ -521,7 +521,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     report = etap.gather()
     note = _degradation_note(report)
     print(f"gathered {report.documents_stored} documents{note}")
-    with AlertPortal.from_etap(etap, n_shards=args.shards) as portal:
+    with AlertPortal.from_etap(
+        etap,
+        n_shards=args.shards,
+        n_replicas=args.replicas,
+        hedge_after=args.hedge_after,
+        hedging=not args.no_hedging,
+    ) as portal:
+        for spec in args.kill_replica:
+            try:
+                shard_text, replica_text = spec.split(":", 1)
+                shard, replica = int(shard_text), int(replica_text)
+            except ValueError:
+                print(f"bad --kill-replica {spec!r}; expected S:R")
+                return 2
+            if args.replicas <= 1:
+                print("--kill-replica requires --replicas > 1")
+                return 2
+            portal.kill_replica(shard, replica)
+            print(f"killed replica shard{shard}/r{replica}")
         queries = _serve_queries()
         generator = LoadGenerator(
             portal,
@@ -552,6 +570,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            in payload["statuses"].items())],
             ],
         ))
+        if portal.replicas is not None:
+            replica_stats = portal.replicas.stats()
+            print("\nreplica groups:")
+            for group in replica_stats["groups"]:
+                print(
+                    f"  shard{group['shard']}: "
+                    f"{group['up']}/{group['n_replicas']} up, "
+                    f"gen {group['latest_generation']}, "
+                    f"max lag {group['max_lag']}, "
+                    f"breakers open {group['breakers_open']}"
+                )
         slo_statuses = None
         if args.slo_config:
             monitor = _health_monitor(
@@ -991,6 +1020,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="annotation warm-up threads during gathering; served "
              "results are bit-identical for any value",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard group; >1 serves through the hedged "
+             "router (docs/SERVING.md, replication section)",
+    )
+    serve.add_argument(
+        "--hedge-after", type=float, default=0.05,
+        help="hedge deadline in simulated ticks before a second "
+             "replica is tried (requires --replicas > 1)",
+    )
+    serve.add_argument(
+        "--no-hedging", action="store_true",
+        help="disable hedged requests (tail latencies eat timeouts)",
+    )
+    serve.add_argument(
+        "--kill-replica", action="append", default=[],
+        metavar="SHARD:REPLICA",
+        help="kill a replica before the load run (repeatable), e.g. "
+             "--kill-replica 0:1",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -100,6 +100,14 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
         {"slo", "objective", "window", "burn_rate", "budget_remaining"}
     ),
     "health_transition": frozenset({"status", "previous", "reasons"}),
+    # Replicated serving (docs/SERVING.md, "Replication and chaos
+    # serving").  ``degraded_read`` fires wherever a response is built
+    # from anything but a fresh, fully-replicated generation — the
+    # stale cache path and the router's group fallback share it.
+    "replica_down": frozenset({"shard", "replica"}),
+    "replica_restored": frozenset({"shard", "replica", "lag"}),
+    "query_hedged": frozenset({"query", "shard", "primary", "hedge"}),
+    "degraded_read": frozenset({"source"}),
 }
 
 _ENVELOPE_FIELDS = frozenset(

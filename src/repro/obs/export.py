@@ -256,6 +256,22 @@ def derive_gauges(
             gauges[f'serve_shard_docs{{shard="{shard}"}}'] = float(
                 n_docs
             )
+        replicas = stats.get("replicas")
+        if replicas:
+            gauges["serve_replicas_per_shard"] = float(
+                replicas["n_replicas"]
+            )
+            for group in replicas["groups"]:
+                label = f'{{shard="{group["shard"]}"}}'
+                gauges[f"serve_replicas_up{label}"] = float(
+                    group["up"]
+                )
+                gauges[f"serve_replica_lag{label}"] = float(
+                    group["max_lag"]
+                )
+                gauges[f"serve_replica_breakers_open{label}"] = float(
+                    group["breakers_open"]
+                )
 
     ingested = counters.get("stream.docs_ingested", 0)
     deduped = counters.get("stream.docs_deduped", 0)

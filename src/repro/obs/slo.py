@@ -438,6 +438,18 @@ def default_slos() -> list[SloSpec]:
             description="Queries answered ok or stale (not rejected).",
         ),
         SloSpec(
+            name="serve-degraded-reads",
+            objective="dead_letter_rate",
+            target=0.05,
+            component="serve",
+            bad_series="serve.degraded",
+            total_series="serve.requests",
+            description=(
+                "Responses served degraded (stale cache or replica-"
+                "group fallback)."
+            ),
+        ),
+        SloSpec(
             name="serve-latency-p99",
             objective="latency",
             target=0.25,

@@ -56,6 +56,15 @@ from repro.serve.portal import (
     QueryResponse,
     Subscription,
 )
+from repro.serve.replication import (
+    REPLICA_DOWN,
+    REPLICA_UP,
+    ChaosMonkey,
+    Replica,
+    ReplicaGroup,
+    ReplicaSet,
+)
+from repro.serve.router import HedgedRouter, RouteResult
 from repro.serve.shards import IndexSnapshot, ShardedIndex, shard_of
 from repro.serve.timebase import clock_now, default_clock
 from repro.serve.workers import (
@@ -73,8 +82,10 @@ __all__ = [
     "AlertPortal",
     "CacheKey",
     "CacheStats",
+    "ChaosMonkey",
     "DEADLINE_EXCEEDED",
     "ERROR",
+    "HedgedRouter",
     "IndexSnapshot",
     "LoadGenerator",
     "LoadReport",
@@ -84,6 +95,12 @@ __all__ = [
     "QueryCache",
     "QueryResponse",
     "RATE_LIMITED",
+    "REPLICA_DOWN",
+    "REPLICA_UP",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaSet",
+    "RouteResult",
     "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_OK",

@@ -20,7 +20,9 @@ feed the Prometheus export so overload is visible from outside.
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.serve.timebase import clock_now, default_clock
@@ -94,7 +96,16 @@ ADMITTED = AdmissionDecision(admitted=True)
 
 
 class AdmissionController:
-    """Per-client rate limiting plus a global bounded pending count."""
+    """Per-client rate limiting plus a global bounded pending count.
+
+    ``quotas`` layers per-tenant fairness over the shared queue: a
+    quota of ``0.25`` for client ``"a"`` *reserves* ``0.25 *
+    max_pending`` queue slots that only ``"a"`` can occupy.  Clients
+    first fill their reservation, then compete for the unreserved
+    remainder — so a bursting tenant can exhaust the shared slots but
+    can never push another tenant below its reserved floor (the
+    fairness regression test pins the admitted shares).
+    """
 
     def __init__(
         self,
@@ -103,6 +114,7 @@ class AdmissionController:
         max_pending: int = 64,
         clock=None,
         tracer: AnyTracer | None = None,
+        quotas: Mapping[str, float] | None = None,
     ) -> None:
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
@@ -111,6 +123,24 @@ class AdmissionController:
         self.max_pending = max_pending
         self.clock = clock or default_clock()
         self.tracer = tracer or NULL_TRACER
+        self.quotas = dict(quotas or {})
+        for client_id, quota in self.quotas.items():
+            if not 0.0 <= quota <= 1.0:
+                raise ValueError(
+                    f"quota for {client_id!r} must be in [0, 1]"
+                )
+        self._reserved = {
+            client_id: int(quota * max_pending)
+            for client_id, quota in self.quotas.items()
+        }
+        reserved_total = sum(self._reserved.values())
+        if reserved_total > max_pending:
+            raise ValueError(
+                "quota reservations exceed max_pending "
+                f"({reserved_total} > {max_pending})"
+            )
+        self._shared_capacity = max_pending - reserved_total
+        self._pending_by_client: Counter[str] = Counter()
         self._buckets: dict[str, TokenBucket] = {}
         self._pending = 0
         self._lock = threading.Lock()
@@ -122,6 +152,15 @@ class AdmissionController:
         """Admitted-but-unreleased requests (the queue depth gauge)."""
         with self._lock:
             return self._pending
+
+    def pending_of(self, client_id: str) -> int:
+        """One client's admitted-but-unreleased count."""
+        with self._lock:
+            return self._pending_by_client[client_id]
+
+    def reserved_of(self, client_id: str) -> int:
+        """Queue slots reserved for ``client_id`` (0 without a quota)."""
+        return self._reserved.get(client_id, 0)
 
     def bucket_of(self, client_id: str) -> TokenBucket:
         with self._lock:
@@ -146,11 +185,7 @@ class AdmissionController:
             self.tracer.count(f"serve.rejected[{RATE_LIMITED}]")
             return AdmissionDecision(False, RATE_LIMITED)
         with self._lock:
-            if self._pending >= self.max_pending:
-                rejected = True
-            else:
-                self._pending += 1
-                rejected = False
+            rejected = not self._try_take_slot(client_id)
         if rejected:
             self.tracer.count("serve.rejected")
             self.tracer.count(f"serve.rejected[{QUEUE_FULL}]")
@@ -158,11 +193,40 @@ class AdmissionController:
         self.tracer.count("serve.admitted")
         return ADMITTED
 
-    def release(self) -> None:
-        """Return one admitted slot; must pair 1:1 with admissions."""
+    def _try_take_slot(self, client_id: str) -> bool:
+        """Claim a queue slot (reserved first); caller holds the lock."""
+        if self._pending >= self.max_pending:
+            return False
+        if self.quotas:
+            mine = self._pending_by_client[client_id]
+            if mine >= self._reserved.get(client_id, 0):
+                # Out of reservation: compete for the shared slots.
+                shared_used = sum(
+                    max(
+                        0,
+                        count - self._reserved.get(client, 0),
+                    )
+                    for client, count in self._pending_by_client.items()
+                )
+                if shared_used >= self._shared_capacity:
+                    return False
+            self._pending_by_client[client_id] += 1
+        self._pending += 1
+        return True
+
+    def release(self, client_id: str | None = None) -> None:
+        """Return one admitted slot; must pair 1:1 with admissions.
+
+        When quotas are configured, callers must pass the same
+        ``client_id`` they admitted with, so the per-tenant occupancy
+        that fairness decisions read stays truthful.
+        """
         with self._lock:
             if self._pending <= 0:
                 raise RuntimeError(
                     "release() without a matching admit()"
                 )
             self._pending -= 1
+            if self.quotas and client_id is not None:
+                if self._pending_by_client[client_id] > 0:
+                    self._pending_by_client[client_id] -= 1

@@ -26,6 +26,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.serve.timebase import clock_now, default_clock
 
 #: Returned by :meth:`QueryCache.get` on a miss (``None`` is a value).
@@ -66,6 +67,7 @@ class QueryCache:
         max_cost: float = 65_536.0,
         ttl: float = 30.0,
         clock=None,
+        event_log: AnyEventLog | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
@@ -77,6 +79,7 @@ class QueryCache:
         self.max_cost = max_cost
         self.ttl = ttl
         self.clock = clock or default_clock()
+        self.event_log = event_log or NULL_EVENT_LOG
         self._entries: OrderedDict[object, _Entry] = OrderedDict()
         self._total_cost = 0.0
         self._lock = threading.Lock()
@@ -131,14 +134,18 @@ class QueryCache:
 
         The overload path uses this — a stale answer beats a rejection
         — and it never touches the hit/miss counters, so the fresh hit
-        rate stays honest.
+        rate stays honest.  Every stale serve is flight-recorded as a
+        ``degraded_read``, so a portal quietly living off yesterday's
+        answers is visible in the event log and the SLO rollup.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return MISS
             self._stats.stale_reads += 1
-            return entry.value
+            value = entry.value
+        self.event_log.emit("degraded_read", source="query_cache")
+        return value
 
     def put(
         self,

@@ -36,6 +36,8 @@ from repro.obs.tracer import NULL_TRACER, AnyTracer
 from repro.search.engine import SearchResult
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import MISS, QueryCache, cache_key
+from repro.serve.replication import ReplicaSet
+from repro.serve.router import HedgedRouter, RouteResult
 from repro.serve.shards import ShardedIndex
 from repro.serve.timebase import clock_now, default_clock
 from repro.serve.workers import OK, WorkerPool
@@ -47,10 +49,21 @@ STATUS_REJECTED = "rejected"
 STATUS_DEADLINE = "deadline_exceeded"
 STATUS_ERROR = "error"
 
+#: Simulated ticks a replicated portal charges for answers that never
+#: reach the router (cache hits, rejections): the in-process hop.
+_LOCAL_COST = 0.0005
+
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """One portal answer; every field a value, never an exception."""
+    """One portal answer; every field a value, never an exception.
+
+    ``degraded`` tags every answer built from anything but a fresh,
+    fully-replicated read — stale cache serves and replica-group
+    fallbacks — so a consumer can always tell; nothing is ever
+    silently stale.  ``hedged`` counts hedge requests the router
+    issued while answering.
+    """
 
     status: str
     results: tuple[SearchResult, ...] = ()
@@ -58,6 +71,8 @@ class QueryResponse:
     cached: bool = False
     reason: str = ""
     latency: float = 0.0
+    degraded: bool = False
+    hedged: int = 0
 
     @property
     def ok(self) -> bool:
@@ -104,6 +119,15 @@ class AlertPortal:
         event_log: AnyEventLog | None = None,
         text_engine=None,
         telemetry: AnyTelemetry | None = None,
+        n_replicas: int = 1,
+        hedge_after: float = 0.05,
+        fail_after: float = 0.8,
+        hedging: bool = True,
+        replica_fault_profile=None,
+        fault_seed: int = 0,
+        replica_failure_threshold: int = 3,
+        replica_cool_off: float = 2.0,
+        quotas=None,
     ) -> None:
         self.store = store
         self.alert_service = alert_service
@@ -121,10 +145,37 @@ class AlertPortal:
         #: Doc ids present in the currently installed snapshot — what
         #: :meth:`refresh` diffs against to index only the delta.
         self._indexed_doc_ids: set[str] = set()
-        self.cache = cache or QueryCache(clock=self.clock)
-        self.admission = admission or AdmissionController(
-            clock=self.clock, tracer=self.tracer
+        self.cache = cache or QueryCache(
+            clock=self.clock, event_log=self.event_log
         )
+        self.admission = admission or AdmissionController(
+            clock=self.clock, tracer=self.tracer, quotas=quotas
+        )
+        #: The simulated cluster: present only with ``n_replicas > 1``
+        #: (a single-replica portal keeps the direct snapshot path and
+        #: pays no routing overhead).
+        self.replicas: ReplicaSet | None = None
+        self.router: HedgedRouter | None = None
+        if n_replicas > 1:
+            self.replicas = ReplicaSet(
+                n_shards=n_shards,
+                n_replicas=n_replicas,
+                failure_threshold=replica_failure_threshold,
+                cool_off=replica_cool_off,
+                event_log=self.event_log,
+                tracer=self.tracer,
+            )
+            self.router = HedgedRouter(
+                self.replicas,
+                hedge_after=hedge_after,
+                fail_after=fail_after,
+                hedging=hedging,
+                fault_profile=replica_fault_profile,
+                seed=fault_seed,
+                clock=self.clock,
+                event_log=self.event_log,
+                tracer=self.tracer,
+            )
         self.workers = WorkerPool(
             self._execute_query,
             max_workers=max_workers,
@@ -183,6 +234,10 @@ class AlertPortal:
         else:
             snapshot = self.shards.rebuild_from_store(self.store)
         self._indexed_doc_ids = current_ids
+        if self.replicas is not None:
+            # Ship the new generation to every up replica; down
+            # replicas catch up on restore.
+            self.replicas.install_snapshot(snapshot)
         self.cache.invalidate_other_generations(snapshot.generation)
         return snapshot.generation
 
@@ -223,6 +278,7 @@ class AlertPortal:
                     generation=snapshot_generation,
                     cached=True,
                     started=started,
+                    latency_override=self._local_latency(),
                 )
             self.tracer.count("serve.cache_misses")
             deadline = (
@@ -236,6 +292,29 @@ class AlertPortal:
                     outcome.status,
                     reason=outcome.error,
                     started=started,
+                    latency_override=self._local_latency(),
+                )
+            if isinstance(outcome.value, RouteResult):
+                routed = outcome.value
+                if not routed.degraded:
+                    # A degraded answer is correct for its pinned
+                    # generation but must never become a fresh hit.
+                    self.cache.put(
+                        key,
+                        routed.results,
+                        routed.generation,
+                        cost=1.0 + len(routed.results),
+                    )
+                return self._respond(
+                    client_id,
+                    key,
+                    STATUS_OK,
+                    results=routed.results,
+                    generation=routed.generation,
+                    started=started,
+                    degraded=routed.degraded,
+                    hedged=routed.hedges,
+                    latency_override=routed.latency,
                 )
             generation, results = outcome.value
             self.cache.put(
@@ -253,13 +332,32 @@ class AlertPortal:
                 started=started,
             )
         finally:
-            self.admission.release()
+            self.admission.release(client_id)
 
-    def _execute_query(self, key) -> tuple[int, tuple[SearchResult, ...]]:
-        """Worker-side search: one snapshot grabbed once, used fully."""
+    def _execute_query(self, key):
+        """Worker-side search: one snapshot grabbed once, used fully.
+
+        With replicas attached the read goes through the hedged
+        router instead of the local snapshot; the
+        :class:`~repro.serve.router.RouteResult` carries the pinned
+        generation, the degraded flag, and the simulated latency.
+        """
+        if self.router is not None:
+            return self.router.route(key.query, top_k=key.top_k)
         snapshot = self.shards.snapshot
         results = tuple(snapshot.search(key.query, top_k=key.top_k))
         return snapshot.generation, results
+
+    def _local_latency(self) -> float | None:
+        """Latency override for answers that never left the portal.
+
+        A replicated portal measures simulated ticks, and its shared
+        clock advances as *other* threads route — so a cache hit must
+        charge its own fixed in-process cost rather than a wall-clock
+        difference polluted by concurrent queries.  Single-replica
+        portals keep real elapsed time (``None`` = no override).
+        """
+        return _LOCAL_COST if self.router is not None else None
 
     def _overload_response(
         self, client_id: str, key, reason: str, started: float
@@ -281,10 +379,13 @@ class AlertPortal:
                     cached=True,
                     reason=reason,
                     started=started,
+                    degraded=True,
+                    latency_override=self._local_latency(),
                 )
         return self._respond(
             client_id, key, STATUS_REJECTED, reason=reason,
             started=started,
+            latency_override=self._local_latency(),
         )
 
     def _respond(
@@ -297,8 +398,14 @@ class AlertPortal:
         cached: bool = False,
         reason: str = "",
         started: float = 0.0,
+        degraded: bool = False,
+        hedged: int = 0,
+        latency_override: float | None = None,
     ) -> QueryResponse:
-        latency = max(0.0, clock_now(self.clock) - started)
+        if latency_override is not None:
+            latency = latency_override
+        else:
+            latency = max(0.0, clock_now(self.clock) - started)
         self.tracer.observe("serve.latency_seconds", latency)
         if self.telemetry.enabled:
             # One windowed request per response, whatever the status:
@@ -310,6 +417,8 @@ class AlertPortal:
                 self.telemetry.record("serve.rejected")
             if cached:
                 self.telemetry.record("serve.cache_hits")
+            if degraded:
+                self.telemetry.record("serve.degraded")
             self.telemetry.observe("serve.latency", latency)
         self.event_log.emit(
             "query_served",
@@ -325,7 +434,23 @@ class AlertPortal:
             cached=cached,
             reason=reason,
             latency=latency,
+            degraded=degraded,
+            hedged=hedged,
         )
+
+    # -- replica lifecycle -----------------------------------------------------
+
+    def kill_replica(self, shard: int, index: int):
+        """Take one replica down (chaos drills, ``--kill-replica``)."""
+        if self.replicas is None:
+            raise RuntimeError("portal has no replicas (n_replicas=1)")
+        return self.replicas.kill(shard, index)
+
+    def restore_replica(self, shard: int, index: int, catch_up: bool = True):
+        """Bring one replica back, catching it up by default."""
+        if self.replicas is None:
+            raise RuntimeError("portal has no replicas (n_replicas=1)")
+        return self.replicas.restore(shard, index, catch_up=catch_up)
 
     # -- alert delivery --------------------------------------------------------
 
@@ -407,7 +532,7 @@ class AlertPortal:
         """One-call portal health snapshot (bench + gauges source)."""
         cache = self.cache.stats()
         snapshot = self.shards.snapshot
-        return {
+        stats = {
             "generation": snapshot.generation,
             "n_docs": snapshot.n_docs,
             "shard_docs": snapshot.shard_sizes(),
@@ -420,6 +545,9 @@ class AlertPortal:
             "subscriptions": len(self._subscriptions),
             "alerts_held": len(self._alert_log),
         }
+        if self.replicas is not None:
+            stats["replicas"] = self.replicas.stats()
+        return stats
 
     def close(self) -> None:
         self.workers.shutdown()

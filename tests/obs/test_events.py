@@ -122,6 +122,15 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "published_day": 88,
         "watermark": 93,
     },
+    "replica_down": {"shard": 0, "replica": "shard0/r1"},
+    "replica_restored": {"shard": 0, "replica": "shard0/r1", "lag": 2},
+    "query_hedged": {
+        "query": "merger acquisition",
+        "shard": 1,
+        "primary": "shard1/r0",
+        "hedge": "shard1/r2",
+    },
+    "degraded_read": {"source": "query_cache"},
     "slo_breach": {
         "slo": "fetch-availability",
         "objective": "availability",

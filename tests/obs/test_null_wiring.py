@@ -82,6 +82,9 @@ def recorder_keepers():
     yield "WorkerPool", lambda t, e: _worker_pool(t)
     yield "AdmissionController", lambda t, e: _admission(t)
     yield "AlertPortal", lambda t, e: _portal(etap, t, e)
+    yield "QueryCache", lambda t, e: _query_cache(e)
+    yield "ReplicaSet", lambda t, e: _replica_set(t, e)
+    yield "HedgedRouter", lambda t, e: _hedged_router(t, e)
     yield "StreamProcessor", lambda t, e: _stream_processor(etap, t, e)
     yield "SloEngine", lambda t, e: SloEngine(
         default_slos(), Telemetry(), event_log=e
@@ -128,6 +131,31 @@ def _admission(tracer):
     from repro.serve.admission import AdmissionController
 
     return AdmissionController(tracer=tracer)
+
+
+def _query_cache(event_log):
+    from repro.serve.cache import QueryCache
+
+    return QueryCache(event_log=event_log)
+
+
+def _replica_set(tracer, event_log):
+    from repro.serve.replication import ReplicaSet
+
+    return ReplicaSet(
+        n_shards=1, n_replicas=2, tracer=tracer, event_log=event_log
+    )
+
+
+def _hedged_router(tracer, event_log):
+    from repro.serve.replication import ReplicaSet
+    from repro.serve.router import HedgedRouter
+
+    return HedgedRouter(
+        ReplicaSet(n_shards=1, n_replicas=2),
+        tracer=tracer,
+        event_log=event_log,
+    )
 
 
 def _stream_processor(etap, tracer, event_log):

@@ -95,8 +95,8 @@ class TestHealthUnderFaults:
         slos = {s["name"]: s for s in payload["slos"]}
         assert set(slos) == {
             "fetch-availability", "fetch-dead-letters",
-            "serve-availability", "serve-latency-p99",
-            "stream-freshness",
+            "serve-availability", "serve-degraded-reads",
+            "serve-latency-p99", "stream-freshness",
         }
         for status in slos.values():
             assert status["budget_remaining"] >= 0.9

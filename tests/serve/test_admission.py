@@ -145,3 +145,59 @@ class TestAdmissionController:
                 held -= 1
             assert 0 <= controller.pending <= max_pending
             assert controller.pending == held
+
+
+class TestQuotas:
+    def make(self, quotas, max_pending=8):
+        return AdmissionController(
+            rate=1e9, burst=1e9, max_pending=max_pending,
+            clock=FakeClock(), quotas=quotas,
+        )
+
+    def test_quota_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            self.make({"a": 1.5})
+        with pytest.raises(ValueError):
+            self.make({"a": -0.1})
+
+    def test_reservations_must_fit_the_queue(self):
+        with pytest.raises(ValueError):
+            self.make({"a": 1.0, "b": 1.0})
+
+    def test_reserved_of_rounds_down_to_slots(self):
+        controller = self.make({"a": 0.25, "b": 0.3})
+        assert controller.reserved_of("a") == 2
+        assert controller.reserved_of("b") == 2  # floor(0.3 * 8)
+        assert controller.reserved_of("nobody") == 0
+
+    def test_majority_cannot_take_the_reserved_floor(self):
+        """One tenant fills shared + its own slots; the other tenant's
+        reservation is still there for it."""
+        controller = self.make({"a": 0.25, "b": 0.25})
+        admitted_b = sum(
+            1 for _ in range(20) if controller.admit("b")
+        )
+        # b fills its 2 reserved slots plus all 4 shared ones.
+        assert admitted_b == 6
+        assert controller.pending == 6
+        # a's two reserved slots survived the flood.
+        assert controller.admit("a")
+        assert controller.admit("a")
+        assert not controller.admit("a")
+        assert controller.pending_of("a") == 2
+
+    def test_release_frees_the_right_tenant_slot(self):
+        controller = self.make({"a": 0.25, "b": 0.25})
+        for _ in range(6):
+            assert controller.admit("b")
+        assert not controller.admit("b")
+        controller.release("b")
+        assert controller.pending_of("b") == 5
+        assert controller.admit("b")
+
+    def test_unquotaed_clients_share_the_unreserved_slots(self):
+        controller = self.make({"a": 0.5})  # 4 reserved, 4 shared
+        admitted = sum(1 for _ in range(10) if controller.admit("c"))
+        assert admitted == 4
+        # The reserved tenant is untouched by the stranger's burst.
+        assert all(controller.admit("a") for _ in range(4))

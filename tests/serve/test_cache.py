@@ -126,6 +126,43 @@ class TestStaleReads:
         cache = QueryCache(clock=clock)
         assert cache.get_stale(cache_key("absent", 1)) is MISS
 
+    def test_stale_serve_emits_exactly_one_degraded_read(self, clock):
+        """Regression: the stale path used to bypass the flight
+        recorder, so a portal living off expired answers was invisible
+        to the degraded-reads SLO.  One stale serve, one event."""
+        from repro.obs.events import EventLog
+
+        log = EventLog(clock=clock)
+        cache = QueryCache(ttl=1.0, clock=clock, event_log=log)
+        key = cache_key("q", 1)
+        cache.put(key, "v", generation=1)
+        clock.advance(100.0)
+        assert cache.get_stale(key) == "v"
+        events = log.events("degraded_read")
+        assert len(events) == 1
+        assert events[0].payload == {"source": "query_cache"}
+        # And again: each stale serve is its own event, exactly one.
+        assert cache.get_stale(key) == "v"
+        assert len(log.events("degraded_read")) == 2
+
+    def test_stale_miss_emits_nothing(self, clock):
+        from repro.obs.events import EventLog
+
+        log = EventLog(clock=clock)
+        cache = QueryCache(clock=clock, event_log=log)
+        assert cache.get_stale(cache_key("absent", 1)) is MISS
+        assert log.events("degraded_read") == []
+
+    def test_fresh_hit_emits_nothing(self, clock):
+        from repro.obs.events import EventLog
+
+        log = EventLog(clock=clock)
+        cache = QueryCache(ttl=10.0, clock=clock, event_log=log)
+        key = cache_key("q", 1)
+        cache.put(key, "v", generation=1)
+        assert cache.get(key, generation=1) == "v"
+        assert log.events("degraded_read") == []
+
 
 class TestValidation:
     def test_rejects_bad_bounds(self):

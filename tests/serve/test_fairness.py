@@ -1,0 +1,69 @@
+"""Per-tenant fairness regression: quotas under a saturated queue.
+
+Two tenants offer load at 10:1 against a full admission queue; the
+step-by-step admit/reject schedule is pinned against the committed
+``tests/golden/fairness_schedule.json`` (regenerate with
+``PYTHONPATH=src python tests/golden/regen_fairness.py`` after any
+intentional admission change — the diff IS the behaviour change).
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.golden.regen_fairness import (
+    GOLDEN_PATH,
+    QUOTAS,
+    fairness_schedule,
+)
+
+
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestPinnedSchedule:
+    def test_quota_schedule_matches_golden_exactly(self):
+        assert fairness_schedule(QUOTAS) == golden()["with_quotas"]
+
+    def test_no_quota_schedule_matches_golden_exactly(self):
+        assert fairness_schedule(None) == golden()["without_quotas"]
+
+
+class TestFairnessFloor:
+    def test_minority_tenant_holds_its_quota_floor(self):
+        """Under 10:1 pressure the light tenant's acceptance rate must
+        stay at or above its reserved share of the queue."""
+        run = fairness_schedule(QUOTAS)
+        assert run["acceptance"]["light"] >= QUOTAS["light"]
+        # The queue really was contended: the majority tenant got
+        # pushed back, and nobody was locked out entirely.
+        assert run["acceptance"]["heavy"] < 1.0
+        assert run["admitted"]["heavy"] > 0
+
+    def test_quotas_are_what_protects_the_minority(self):
+        """The contrast leg: same storm without quotas and the light
+        tenant degrades to phase-luck admission, well below its
+        quota-backed rate."""
+        with_quotas = fairness_schedule(QUOTAS)
+        without = fairness_schedule(None)
+        assert (
+            without["acceptance"]["light"]
+            < with_quotas["acceptance"]["light"]
+        )
+        # Without reservations the minority is indistinguishable from
+        # the majority — admission is blind to who waited.
+        assert (
+            abs(
+                without["acceptance"]["light"]
+                - without["acceptance"]["heavy"]
+            )
+            < 0.15
+        )
+
+    def test_schedule_accounts_for_every_step(self):
+        run = fairness_schedule(QUOTAS)
+        assert len(run["schedule"]) == sum(run["offered"].values())
+        assert sum(run["admitted"].values()) == sum(
+            1 for _, _, admitted in run["schedule"] if admitted
+        )

@@ -243,3 +243,59 @@ def test_committed_serve_bench_artifact_validates():
     artifact = BENCHMARKS_DIR / "BENCH_serve.json"
     payload = json.loads(artifact.read_text())
     assert module.validate_payload(payload) == []
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.chaos_serve
+def test_serve_chaos_bench_acceptance(tmp_path):
+    """The chaos acceptance run holds its SLOs — non-vacuously.
+
+    Time is simulated, so the full chaos storm (replica kill/restore
+    churn, lossy replica faults, hedged fan-out) runs in seconds and
+    belongs in tier 1.  The hedged leg must keep every serve SLO from
+    ``configs/slos.yaml`` under burn 1.0 on both windows while at
+    least one replica per group is killed and restored; the identical
+    run with hedging disabled must breach the latency SLO, proving the
+    chaos schedule actually hurts.
+    """
+    module = _load_bench_module("bench_serve_chaos")
+    out = tmp_path / "BENCH_serve_chaos.json"
+    payload = module.measure(n_docs=200, out=out)
+    assert out.exists()
+    # validate_payload() encodes the acceptance criteria themselves.
+    assert module.validate_payload(payload) == []
+    hedged = payload["legs"]["hedged"]
+    unhedged = payload["legs"]["unhedged"]
+    # Chaos really ran: every group lost and regained a replica (the
+    # monkey kills one replica of *every* group per cycle).
+    assert hedged["kills"] >= 1 and hedged["restores"] >= 1
+    assert unhedged["kills"] >= 1
+    # The hedged cluster rides it out: nothing pages, and both burn
+    # windows stay under 1.0 for every serve objective.
+    assert hedged["breaching"] == []
+    for verdict in hedged["slos"].values():
+        assert verdict["burn_fast"] < 1.0
+        assert verdict["burn_slow"] < 1.0
+    # No query is ever lost to the storm — degraded, maybe; gone, no.
+    assert hedged["statuses"] == {"ok": payload["n_queries"]}
+    # The control leg keeps the pass honest: same storm, no hedging,
+    # and the p99 blows through the latency target.
+    assert "serve-latency-p99" in unhedged["breaching"]
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.chaos_serve
+def test_committed_serve_chaos_artifact_validates():
+    """benchmarks/BENCH_serve_chaos.json must satisfy the acceptance
+    criteria its own bench encodes: hedged leg green under chaos,
+    unhedged control breaching."""
+    import json
+
+    module = _load_bench_module("bench_serve_chaos")
+    artifact = BENCHMARKS_DIR / "BENCH_serve_chaos.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
+    assert payload["legs"]["hedged"]["breaching"] == []
+    assert payload["legs"]["unhedged"]["breaching"] == [
+        "serve-latency-p99"
+    ]
