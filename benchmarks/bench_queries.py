@@ -1,0 +1,265 @@
+"""Query-planner bench: planned portfolios vs hand-written queries.
+
+The smart-query planner (docs/QUERIES.md) only earns its keep if the
+portfolio it selects under a crawl budget actually beats the paper's
+hand-written smart queries.  This bench gathers the extended
+five-driver synthetic web, generates + evaluates the full candidate
+pool per driver, plans a portfolio with the greedy marginal-gain
+selector, and scores both sides under identical budget accounting:
+
+* **planned** — the selected portfolio's coverage (distinct relevant
+  docs), page cost, and precision@budget;
+* **baseline** — the hand-written seed queries run in written order
+  under the same budget;
+* **improved** — a driver counts as improved when the planned
+  portfolio strictly beats the baseline on precision@budget, or
+  matches it at strictly lower page cost.
+
+``BENCH_queries.json`` is the committed artifact; the tier-1 smoke
+test enforces its schema and the acceptance floor (>= 2 drivers
+improved, including both extended drivers present).  Regenerate after
+an intentional change::
+
+    PYTHONPATH=src python benchmarks/bench_queries.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.drivers import available_driver_ids, get_driver
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import DOC_TYPE_FOR_DRIVER, CorpusConfig
+from repro.corpus.web import build_web
+from repro.queries.recipes import PlannerSettings, plan_portfolios
+
+#: Committed artifact; regenerating it is the point of the bench.
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_queries.json"
+
+#: The reference workload (part of the artifact's identity).
+N_DOCS = 400
+SEED = 7
+#: Tight enough to be binding: with a loose budget the baseline stops
+#: early at near-perfect precision and the comparison is vacuous.
+BUDGET = 40
+TOP_K = 40
+MAX_CANDIDATES = 120
+
+
+def _extended_mix() -> dict[str, float]:
+    mix = dict(CorpusConfig().mix)
+    for driver_id in available_driver_ids():
+        mix.setdefault(DOC_TYPE_FOR_DRIVER[driver_id], 0.07)
+    return mix
+
+
+def _portfolio_dict(portfolio) -> dict:
+    return {
+        "n_queries": len(portfolio.selected),
+        "total_cost": portfolio.total_cost,
+        "coverage": portfolio.coverage,
+        "precision_at_budget": round(portfolio.precision_at_budget, 4),
+    }
+
+
+def _improved(planned: dict, baseline: dict) -> bool:
+    """Planner wins on precision@budget, or ties at strictly lower cost."""
+    if planned["precision_at_budget"] > baseline["precision_at_budget"]:
+        return True
+    return (
+        planned["precision_at_budget"] == baseline["precision_at_budget"]
+        and planned["total_cost"] < baseline["total_cost"]
+    )
+
+
+def measure(
+    n_docs: int = N_DOCS,
+    seed: int = SEED,
+    budget: int = BUDGET,
+    top_k: int = TOP_K,
+    out: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Gather, plan every driver, and assemble the artifact."""
+    t0 = time.perf_counter()
+    web = build_web(n_docs, CorpusConfig(seed=seed, mix=_extended_mix()))
+    drivers = [get_driver(d) for d in available_driver_ids()]
+    etap = Etap.from_web(
+        web, drivers=drivers, config=EtapConfig(top_k_per_query=top_k)
+    )
+    etap.gather()
+    t1 = time.perf_counter()
+    plans = plan_portfolios(
+        etap,
+        PlannerSettings(
+            budget=budget, top_k=top_k, max_candidates=MAX_CANDIDATES
+        ),
+    )
+    t2 = time.perf_counter()
+
+    per_driver = {}
+    for driver_id, plan in sorted(plans.items()):
+        planned = _portfolio_dict(plan.planned)
+        baseline = _portfolio_dict(plan.baseline)
+        per_driver[driver_id] = {
+            "n_candidates": plan.n_candidates,
+            "planned": planned,
+            "baseline": baseline,
+            "improved": _improved(planned, baseline),
+        }
+    n_candidates = sum(p["n_candidates"] for p in per_driver.values())
+    plan_seconds = t2 - t1
+    payload = {
+        "bench": "queries",
+        "n_docs": n_docs,
+        "seed": seed,
+        "budget": budget,
+        "top_k": top_k,
+        "max_candidates": MAX_CANDIDATES,
+        "gather_seconds": round(t1 - t0, 4),
+        "plan_seconds": round(plan_seconds, 4),
+        "candidates_evaluated": n_candidates,
+        "candidates_per_sec": round(n_candidates / plan_seconds, 2)
+        if plan_seconds
+        else 0.0,
+        "drivers": per_driver,
+        "n_drivers_improved": sum(
+            1 for p in per_driver.values() if p["improved"]
+        ),
+    }
+    if out is not None:
+        Path(out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return payload
+
+
+#: Schema floor for BENCH_queries.json; the tier-1 smoke test enforces it.
+REQUIRED_KEYS = frozenset(
+    {
+        "bench", "n_docs", "seed", "budget", "top_k", "max_candidates",
+        "gather_seconds", "plan_seconds", "candidates_evaluated",
+        "candidates_per_sec", "drivers", "n_drivers_improved",
+    }
+)
+REQUIRED_PORTFOLIO_KEYS = frozenset(
+    {"n_queries", "total_cost", "coverage", "precision_at_budget"}
+)
+REQUIRED_DRIVER_KEYS = frozenset(
+    {"n_candidates", "planned", "baseline", "improved"}
+)
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema + acceptance check for a BENCH_queries payload."""
+    errors = [
+        f"missing key {key!r}"
+        for key in sorted(REQUIRED_KEYS - set(payload))
+    ]
+    if errors:
+        return errors
+    if payload["bench"] != "queries":
+        errors.append(f"bench is {payload['bench']!r}, not 'queries'")
+    drivers = payload["drivers"]
+    for driver_id in ("funding_rounds", "layoffs"):
+        if driver_id not in drivers:
+            errors.append(f"extended driver {driver_id!r} missing")
+    for driver_id, plan in sorted(drivers.items()):
+        missing = REQUIRED_DRIVER_KEYS - set(plan)
+        errors.extend(
+            f"{driver_id}: missing key {key!r}"
+            for key in sorted(missing)
+        )
+        if missing:
+            continue
+        for side in ("planned", "baseline"):
+            portfolio = plan[side]
+            errors.extend(
+                f"{driver_id}.{side}: missing key {key!r}"
+                for key in sorted(
+                    REQUIRED_PORTFOLIO_KEYS - set(portfolio)
+                )
+            )
+        if plan["n_candidates"] <= 0:
+            errors.append(f"{driver_id}: empty candidate pool")
+        planned = plan["planned"]
+        if set(planned) >= REQUIRED_PORTFOLIO_KEYS:
+            if planned["total_cost"] > payload["budget"]:
+                errors.append(
+                    f"{driver_id}: planned cost "
+                    f"{planned['total_cost']} exceeds budget "
+                    f"{payload['budget']}"
+                )
+            if planned["n_queries"] == 0:
+                errors.append(
+                    f"{driver_id}: planner selected nothing "
+                    f"(vacuous run)"
+                )
+            if plan["improved"] != _improved(planned, plan["baseline"]):
+                errors.append(
+                    f"{driver_id}: 'improved' flag disagrees with "
+                    f"the recorded metrics"
+                )
+    if errors:
+        return errors
+    if payload["n_drivers_improved"] != sum(
+        1 for plan in drivers.values() if plan["improved"]
+    ):
+        errors.append(
+            "n_drivers_improved disagrees with per-driver flags"
+        )
+    if payload["n_drivers_improved"] < 2:
+        errors.append(
+            "planner must beat the hand-written queries "
+            "(precision@budget, or tie at lower cost) for >= 2 "
+            "drivers; got "
+            f"{payload['n_drivers_improved']}"
+        )
+    if payload["candidates_evaluated"] <= 0:
+        errors.append("candidates_evaluated must be positive")
+    return errors
+
+
+def bench_queries_planner(benchmark):
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1)
+    improved = [
+        driver_id
+        for driver_id, plan in payload["drivers"].items()
+        if plan["improved"]
+    ]
+    print(f"\nqueries: {payload['candidates_evaluated']} candidates "
+          f"evaluated in {payload['plan_seconds']:.2f}s, "
+          f"{payload['n_drivers_improved']}/"
+          f"{len(payload['drivers'])} drivers improved "
+          f"({', '.join(improved)})")
+    benchmark.extra_info.update(payload)
+    assert not validate_payload(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", type=int, default=N_DOCS)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--budget", type=int, default=BUDGET)
+    parser.add_argument("--top-k", type=int, default=TOP_K)
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT),
+        help="artifact path (use '-' to skip writing)",
+    )
+    args = parser.parse_args()
+    out = None if args.out == "-" else args.out
+    payload = measure(
+        n_docs=args.docs, seed=args.seed, budget=args.budget,
+        top_k=args.top_k, out=out,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    errors = validate_payload(payload)
+    if errors:
+        raise SystemExit("; ".join(errors))
+
+
+if __name__ == "__main__":
+    main()

@@ -889,6 +889,114 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 # -- parser -------------------------------------------------------------------
 
+def cmd_queries_plan(args: argparse.Namespace) -> int:
+    """Plan smart-query portfolios against a gathered synthetic web."""
+    from repro.core.drivers import available_driver_ids, get_driver
+    from repro.queries.recipes import PlannerSettings, plan_portfolios
+
+    driver_ids = args.drivers or available_driver_ids()
+    try:
+        drivers = [get_driver(driver_id) for driver_id in driver_ids]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    mix = dict(CorpusConfig().mix)
+    from repro.corpus.generator import DOC_TYPE_FOR_DRIVER
+
+    for driver in drivers:
+        mix.setdefault(DOC_TYPE_FOR_DRIVER[driver.driver_id], 0.07)
+    web = _maybe_faulty(
+        build_web(args.docs, CorpusConfig(seed=args.seed, mix=mix)),
+        args,
+    )
+    etap = Etap.from_web(
+        web,
+        drivers=drivers,
+        config=EtapConfig(top_k_per_query=args.top_k),
+        tracer=_tracer(args),
+        event_log=_event_log(args),
+    )
+    report = etap.gather()
+    print(f"gathered {report.documents_stored} documents "
+          f"({report.pages_fetched} pages fetched)")
+    plans = plan_portfolios(
+        etap,
+        PlannerSettings(
+            budget=args.budget,
+            top_k=args.top_k,
+            max_queries=args.max_queries,
+        ),
+        tracer=_tracer(args),
+        event_log=_event_log(args),
+    )
+    for plan in plans.values():
+        planned, baseline = plan.planned, plan.baseline
+        print(f"\n{plan.driver_id}  "
+              f"(budget {planned.budget} pages, "
+              f"{plan.n_candidates} candidates)")
+        rows = [
+            (
+                item.evaluation.candidate.query,
+                item.evaluation.candidate.source,
+                format_float(item.marginal_gain, 1),
+                str(item.marginal_cost),
+                format_float(item.gain_per_page, 3),
+                str(item.cumulative_cost),
+            )
+            for item in planned.selected
+        ]
+        print(ascii_table(
+            ("query", "source", "gain", "cost", "gain/page", "cum"),
+            rows,
+        ))
+        print(f"  planned:  {len(planned.selected)} queries, "
+              f"cost {planned.total_cost}, "
+              f"coverage {planned.coverage}, "
+              f"P@B {planned.precision_at_budget:.3f}")
+        print(f"  seeds:    {len(baseline.selected)} queries, "
+              f"cost {baseline.total_cost}, "
+              f"coverage {baseline.coverage}, "
+              f"P@B {baseline.precision_at_budget:.3f}")
+    return 0
+
+
+def _load_recipe_or_exit(path: str):
+    from repro.queries.recipes import RecipeError, load_recipe
+
+    try:
+        return load_recipe(path)
+    except RecipeError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def cmd_recipe_run(args: argparse.Namespace) -> int:
+    from repro.queries.recipes import run_recipe
+
+    recipe = _load_recipe_or_exit(args.file)
+    if recipe is None:
+        return 2
+    result = run_recipe(
+        recipe,
+        tracer=_tracer(args),
+        event_log=_event_log(args),
+        n_docs=args.docs,
+    )
+    print(result.render())
+    return 0
+
+
+def cmd_recipe_validate(args: argparse.Namespace) -> int:
+    recipe = _load_recipe_or_exit(args.file)
+    if recipe is None:
+        return 2
+    print(f"recipe {recipe.name!r} is valid: "
+          f"drivers={list(recipe.drivers)}, n_docs={recipe.n_docs}, "
+          f"fault_profile={recipe.fault_profile}, "
+          f"budget={recipe.planner.budget}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1184,6 +1292,61 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--no-clear", action="store_true",
                      help="never emit ANSI clear codes between frames")
     top.set_defaults(func=cmd_top)
+
+    queries = sub.add_parser(
+        "queries",
+        help="smart-query planner: candidate portfolios under a "
+             "crawl budget (docs/QUERIES.md)",
+    )
+    queries_sub = queries.add_subparsers(
+        dest="queries_command", required=True
+    )
+    plan = queries_sub.add_parser(
+        "plan", parents=[profiled, faulty],
+        help="generate, evaluate, and select query portfolios "
+             "per driver",
+    )
+    plan.add_argument("--docs", type=int, default=600)
+    plan.add_argument("--seed", type=int, default=7)
+    plan.add_argument(
+        "--driver", action="append", dest="drivers", default=None,
+        metavar="DRIVER_ID",
+        help="driver to plan (repeatable; default: all registered)",
+    )
+    plan.add_argument("--budget", type=int, default=200,
+                      help="portfolio crawl budget in pages")
+    plan.add_argument("--top-k", type=int, default=40, dest="top_k",
+                      help="results fetched per candidate query")
+    plan.add_argument("--max-queries", type=int, default=None,
+                      dest="max_queries",
+                      help="cap on portfolio size")
+    plan.set_defaults(func=cmd_queries_plan)
+
+    recipe = sub.add_parser(
+        "recipe",
+        help="saved scenario configs under configs/recipes/ "
+             "(docs/QUERIES.md)",
+    )
+    recipe_sub = recipe.add_subparsers(
+        dest="recipe_command", required=True
+    )
+    recipe_run = recipe_sub.add_parser(
+        "run", parents=[profiled],
+        help="execute a recipe end to end: gather, plan, train, "
+             "extract, mint alerts",
+    )
+    recipe_run.add_argument("file", help="path to a recipe .yaml/.json")
+    recipe_run.add_argument(
+        "--docs", type=int, default=None,
+        help="override the recipe's corpus size",
+    )
+    recipe_run.set_defaults(func=cmd_recipe_run)
+    recipe_validate = recipe_sub.add_parser(
+        "validate",
+        help="schema-check a recipe file and report every problem",
+    )
+    recipe_validate.add_argument("file")
+    recipe_validate.set_defaults(func=cmd_recipe_validate)
 
     return parser
 

@@ -19,6 +19,8 @@ from typing import Callable
 
 from repro.corpus.templates import (
     CHANGE_IN_MANAGEMENT,
+    FUNDING_ROUNDS,
+    LAYOFFS,
     MERGERS_ACQUISITIONS,
     REVENUE_GROWTH,
 )
@@ -202,11 +204,80 @@ def _revenue_growth() -> SalesDriver:
     )
 
 
+def _funding_rounds() -> SalesDriver:
+    return SalesDriver(
+        driver_id=FUNDING_ROUNDS,
+        name="Funding rounds",
+        description=(
+            "Venture and growth financing events; newly funded "
+            "companies spend on tooling, hiring, and infrastructure."
+        ),
+        smart_queries=(
+            '"funding round"',
+            '"in new funding"',
+            '"closed its"',
+            '"led by"',
+            '"at a valuation of"',
+        ),
+        # Organization AND Currency plus financing keywords: a funding
+        # event names the company and the amount it raised.
+        snippet_filter=all_of(
+            has("ORG"),
+            has("CURRENCY"),
+            has_keyword(
+                "funding", "raised", "raises", "financing", "round",
+                "investors", "backers", "capital", "valuation",
+                "series", "seed",
+            ),
+        ),
+    )
+
+
+def _layoffs() -> SalesDriver:
+    return SalesDriver(
+        driver_id=LAYOFFS,
+        name="Layoffs",
+        description=(
+            "Workforce reductions and restructurings; companies in "
+            "retrenchment consolidate vendors and renegotiate."
+        ),
+        smart_queries=(
+            '"of its workforce"',
+            '"job cuts"',
+            '"announced layoffs"',
+            '"restructuring"',
+            '"reduce headcount"',
+        ),
+        # Organization AND a count-or-percent figure plus layoff
+        # keywords: the event names the company and the cut's size.
+        snippet_filter=all_of(
+            has("ORG"),
+            any_of(has("CNT"), has("PRCNT")),
+            has_keyword(
+                "layoff", "layoffs", "lay off", "laying off",
+                "job cuts", "cut jobs", "workforce", "headcount",
+                "restructuring", "eliminate", "shed", "slash",
+            ),
+        ),
+    )
+
+
 _BUILTIN = {
     MERGERS_ACQUISITIONS: _mergers_acquisitions,
     CHANGE_IN_MANAGEMENT: _change_in_management,
     REVENUE_GROWTH: _revenue_growth,
 }
+
+#: Drivers beyond the paper's three, opened via the query-planner rig
+#: (ROADMAP item 3).  ``builtin_drivers()`` deliberately excludes them:
+#: the default pipeline stays bit-identical to the paper reproduction,
+#: and recipes opt in by driver id.
+_EXTENDED = {
+    FUNDING_ROUNDS: _funding_rounds,
+    LAYOFFS: _layoffs,
+}
+
+_ALL = {**_BUILTIN, **_EXTENDED}
 
 
 def builtin_drivers() -> list[SalesDriver]:
@@ -214,12 +285,22 @@ def builtin_drivers() -> list[SalesDriver]:
     return [factory() for factory in _BUILTIN.values()]
 
 
+def available_drivers() -> list[SalesDriver]:
+    """Every registered driver: the paper's three plus extensions."""
+    return [factory() for factory in _ALL.values()]
+
+
+def available_driver_ids() -> list[str]:
+    """Identifiers of every registered driver, in registry order."""
+    return list(_ALL)
+
+
 def get_driver(driver_id: str) -> SalesDriver:
-    """Look up a builtin driver by identifier."""
+    """Look up a registered driver (builtin or extended) by id."""
     try:
-        return _BUILTIN[driver_id]()
+        return _ALL[driver_id]()
     except KeyError:
         raise KeyError(
             f"unknown driver {driver_id!r}; "
-            f"builtins: {sorted(_BUILTIN)}"
+            f"available: {sorted(_ALL)}"
         ) from None

@@ -80,6 +80,12 @@ class FeedbackLoop:
             if d == driver_id
         ]
 
+    def all_verdicts(self) -> list[Verdict]:
+        """Every recorded verdict, across drivers — the query planner
+        re-weights candidate portfolios from this
+        (:meth:`repro.queries.planner.FeedbackWeights.from_feedback`)."""
+        return list(self._verdicts.values())
+
     @property
     def n_verdicts(self) -> int:
         return len(self._verdicts)

@@ -27,6 +27,8 @@ from repro.corpus import templates, vocab
 from repro.corpus.templates import (
     ALL_DRIVERS,
     CHANGE_IN_MANAGEMENT,
+    FUNDING_ROUNDS,
+    LAYOFFS,
     MERGERS_ACQUISITIONS,
     REVENUE_GROWTH,
     EntityPool,
@@ -36,15 +38,29 @@ from repro.corpus.templates import (
 DOC_TYPES = (
     "ma_news", "cim_news", "rg_news", "biography", "retrospective",
     "product_review", "company_profile", "background",
+    # Extended-driver doc types: absent from the default mix, so the
+    # paper-faithful corpus is unchanged unless a recipe opts in.
+    "funding_news", "layoff_news",
 )
 
 #: Doc types whose trigger sentences are genuine current events.
-TRIGGER_DOC_TYPES = {"ma_news", "cim_news", "rg_news"}
+TRIGGER_DOC_TYPES = {
+    "ma_news", "cim_news", "rg_news", "funding_news", "layoff_news",
+}
 
 _DRIVER_FOR_DOC_TYPE = {
     "ma_news": MERGERS_ACQUISITIONS,
     "cim_news": CHANGE_IN_MANAGEMENT,
     "rg_news": REVENUE_GROWTH,
+    "funding_news": FUNDING_ROUNDS,
+    "layoff_news": LAYOFFS,
+}
+
+#: Inverse of :data:`_DRIVER_FOR_DOC_TYPE` — the trigger doc type that
+#: carries positives for each driver (used as query-evaluation ground
+#: truth by :mod:`repro.queries`).
+DOC_TYPE_FOR_DRIVER = {
+    driver: doc_type for doc_type, driver in _DRIVER_FOR_DOC_TYPE.items()
 }
 
 
@@ -182,6 +198,21 @@ class CorpusGenerator:
             pool, templates.rg_trigger, None, 0.35
         )
 
+    def _build_funding_news(
+        self, pool: EntityPool
+    ) -> list[TemplateSentence]:
+        return self._article_sentences(
+            pool, templates.funding_trigger,
+            templates.funding_retrospective, 0.30,
+        )
+
+    def _build_layoff_news(
+        self, pool: EntityPool
+    ) -> list[TemplateSentence]:
+        return self._article_sentences(
+            pool, templates.layoff_trigger, templates.layoff_rumor, 0.30
+        )
+
     def _build_biography(self, pool: EntityPool) -> list[TemplateSentence]:
         rng = self._rng
         count = rng.randint(
@@ -317,6 +348,8 @@ class CorpusGenerator:
             "ma_news": f"{pool.company} to acquire {pool.other_company}",
             "cim_news": f"{pool.company} names new {pool.designation}",
             "rg_news": f"{pool.company} reports quarterly results",
+            "funding_news": f"{pool.company} raises new funding",
+            "layoff_news": f"{pool.company} announces job cuts",
             "biography": f"Profile: {pool.person}",
             "retrospective": f"A history of deals at {pool.company}",
             "product_review": f"Review: {pool.product}",
@@ -331,6 +364,8 @@ class CorpusGenerator:
             "ma_news": "news.example.com",
             "cim_news": "news.example.com",
             "rg_news": "finance.example.com",
+            "funding_news": "venture.example.com",
+            "layoff_news": "news.example.com",
             "biography": "people.example.com",
             "retrospective": "archive.example.com",
             "product_review": "reviews.example.com",

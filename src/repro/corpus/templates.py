@@ -29,6 +29,14 @@ REVENUE_GROWTH = "revenue_growth"
 
 ALL_DRIVERS = (MERGERS_ACQUISITIONS, CHANGE_IN_MANAGEMENT, REVENUE_GROWTH)
 
+#: Drivers beyond the paper's three, opened by the query-planner rig
+#: (ROADMAP item 3).  They are additive: nothing in the default corpus
+#: mix or ``builtin_drivers()`` changes unless a recipe asks for them.
+FUNDING_ROUNDS = "funding_rounds"
+LAYOFFS = "layoffs"
+
+EXTENDED_DRIVERS = ALL_DRIVERS + (FUNDING_ROUNDS, LAYOFFS)
+
 
 @dataclass(frozen=True, slots=True)
 class TemplateSentence:
@@ -275,6 +283,102 @@ def rg_trigger(pool: EntityPool, rng: random.Random) -> TemplateSentence:
         f"{pool.percent()} in {pool.quarter()}.",
     ]
     return TemplateSentence(rng.choice(forms), REVENUE_GROWTH)
+
+
+# ---------------------------------------------------------------------------
+# Funding-round trigger sentences (extended driver)
+# ---------------------------------------------------------------------------
+
+def funding_trigger(pool: EntityPool, rng: random.Random) -> TemplateSentence:
+    """A current funding-round trigger event."""
+    verb = rng.choice(vocab.FUNDING_VERBS)
+    round_name = rng.choice(vocab.FUNDING_ROUND_NAMES)
+    investor = rng.choice(vocab.INVESTOR_NAMES)
+    company = pool.company
+    forms = [
+        f"{company} {verb} {pool.amount()} in {round_name} funding led "
+        f"by {investor}.",
+        f"{company} announced a {pool.amount()} {round_name} funding "
+        f"round on {rng.choice(vocab.WEEKDAYS)}.",
+        f"{company} {verb} a {round_name} round of {pool.amount()} to "
+        f"expand its {rng.choice(vocab.NEUTRAL_BUSINESS_NOUNS)}.",
+        f"Investors led by {investor} put {pool.amount()} into "
+        f"{company} in its latest {round_name} round.",
+        f"{company} closed its {round_name} financing at "
+        f"{pool.amount()}, the company said.",
+        f"{company} {verb} {pool.amount()} in new funding from "
+        f"{investor} and existing backers.",
+        f"The {round_name} round brings total capital raised by "
+        f"{company} to {pool.amount()}.",
+        f"{company} {verb} {pool.amount()} at a valuation of "
+        f"{pool.amount()}, with {investor} participating.",
+        f"Fresh off a {round_name} funding round, {company} plans to "
+        f"hire aggressively in {pool.place}.",
+    ]
+    return TemplateSentence(rng.choice(forms), FUNDING_ROUNDS)
+
+
+def funding_retrospective(
+    pool: EntityPool, rng: random.Random
+) -> TemplateSentence:
+    """A historical funding mention — near-positive noise, not a lead."""
+    round_name = rng.choice(vocab.FUNDING_ROUND_NAMES)
+    forms = [
+        f"{pool.company} last raised money in {pool.old_year()}, a "
+        f"{round_name} round few investors remember.",
+        f"The company's early backers from its {pool.old_year()} "
+        f"{round_name} round have long since exited.",
+        f"Back in {pool.old_year()}, {pool.company} struggled to close "
+        f"its {round_name} round.",
+    ]
+    return TemplateSentence(rng.choice(forms), None)
+
+
+# ---------------------------------------------------------------------------
+# Layoff trigger sentences (extended driver)
+# ---------------------------------------------------------------------------
+
+def layoff_trigger(pool: EntityPool, rng: random.Random) -> TemplateSentence:
+    """A current layoff trigger event."""
+    verb = rng.choice(vocab.LAYOFF_VERBS)
+    noun = rng.choice(vocab.LAYOFF_NOUNS)
+    company = pool.company
+    headcount = rng.randint(40, 5000)
+    forms = [
+        f"{company} {verb} {headcount} {noun}, about {pool.percent()} "
+        f"of its workforce.",
+        f"{company} said it {verb} {pool.percent()} of its workforce "
+        f"as part of a restructuring.",
+        f"{company} announced layoffs affecting {headcount} {noun} in "
+        f"{pool.place}.",
+        f"In a cost-cutting move, {company} {verb} {headcount} {noun} "
+        f"across its {rng.choice(vocab.NEUTRAL_BUSINESS_NOUNS)} "
+        f"division.",
+        f"{company} will reduce headcount by {headcount}, citing "
+        f"{rng.choice(vocab.NEGATIVE_ORIENTATION_PHRASES)}.",
+        f"The job cuts at {company} will hit {headcount} {noun} by "
+        f"{rng.choice(vocab.MONTHS)}.",
+        f"{company} {verb} up to {pool.percent()} of staff, the "
+        f"company said on {rng.choice(vocab.WEEKDAYS)}.",
+        f"{company} confirmed job cuts of {headcount} {noun} after "
+        f"{rng.choice(vocab.NEGATIVE_ORIENTATION_PHRASES)}.",
+        f"{company} {verb} {headcount} {noun} and will close its "
+        f"{pool.place} office.",
+    ]
+    return TemplateSentence(rng.choice(forms), LAYOFFS)
+
+
+def layoff_rumor(pool: EntityPool, rng: random.Random) -> TemplateSentence:
+    """Layoff-adjacent noise: denials and old rounds, not fresh leads."""
+    forms = [
+        f"{pool.company} denied rumors of layoffs circulating in "
+        f"{pool.place}.",
+        f"{pool.company} weathered the {pool.old_year()} downturn "
+        f"without layoffs, executives like to note.",
+        f"A spokesperson said {pool.company} has no plans to cut jobs "
+        f"this year.",
+    ]
+    return TemplateSentence(rng.choice(forms), None)
 
 
 # ---------------------------------------------------------------------------

@@ -239,6 +239,33 @@ GROWTH_NOUNS = [
     "operating income",
 ]
 
+FUNDING_VERBS = [
+    "raised", "has raised", "secured", "closed", "announced",
+    "completed", "landed", "banked", "pulled in", "locked in",
+]
+
+FUNDING_ROUND_NAMES = [
+    "seed", "Series A", "Series B", "Series C", "Series D",
+    "growth", "bridge", "mezzanine",
+]
+
+INVESTOR_NAMES = [
+    "Meridian Ventures", "Blue Harbor Capital", "Northgate Partners",
+    "Ridgeline Growth Equity", "Cobalt Venture Partners",
+    "Summit Crest Capital", "Ironwood Investments", "Vantage Point Fund",
+    "Clearwater Growth Partners", "Atlas Horizon Capital",
+]
+
+LAYOFF_VERBS = [
+    "will cut", "is cutting", "plans to eliminate", "will eliminate",
+    "is laying off", "will lay off", "announced it will shed",
+    "is shedding", "will slash", "plans to cut",
+]
+
+LAYOFF_NOUNS = [
+    "jobs", "positions", "roles", "staff positions", "employees",
+]
+
 POSITIVE_ORIENTATION_PHRASES = [
     "significant growth", "solid quarter", "record profits",
     "strong performance", "robust demand", "impressive gains",

@@ -108,6 +108,21 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "replica_restored": frozenset({"shard", "replica", "lag"}),
     "query_hedged": frozenset({"query", "shard", "primary", "hedge"}),
     "degraded_read": frozenset({"source"}),
+    # Smart-query planner (docs/QUERIES.md): every candidate's measured
+    # coverage/precision/cost, and each driver's selected portfolio.
+    "query_candidate_evaluated": frozenset(
+        {"driver_id", "query", "source", "coverage", "precision", "cost"}
+    ),
+    "portfolio_selected": frozenset(
+        {
+            "driver_id",
+            "budget",
+            "n_candidates",
+            "n_selected",
+            "total_cost",
+            "precision_at_budget",
+        }
+    ),
 }
 
 _ENVELOPE_FIELDS = frozenset(

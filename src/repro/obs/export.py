@@ -188,6 +188,7 @@ def derive_gauges(
     portal=None,
     telemetry=None,
     slo_statuses=None,
+    portfolios=None,
 ) -> dict[str, float]:
     """Pipeline-level gauges computed from recorded counters.
 
@@ -206,6 +207,11 @@ def derive_gauges(
     * ``stream_late_ratio`` / ``stream_dedup_ratio`` /
       ``stream_alerts_per_batch`` — streaming rollups from the
       ``stream.*`` counters;
+    * ``queries_selection_rate`` — portfolio members per evaluated
+      candidate, from the ``queries.*`` counters;
+    * ``queries_portfolio_*{driver="..."}`` — per-driver planner
+      results, when an iterable of
+      :class:`~repro.queries.planner.Portfolio` is provided;
     * plus :func:`telemetry_gauges` when ``telemetry`` is given and
       :func:`slo_gauges` when ``slo_statuses`` is given.
     """
@@ -285,6 +291,27 @@ def derive_gauges(
         gauges["stream_alerts_per_batch"] = (
             counters.get("stream.alerts_minted", 0) / batches
         )
+
+    evaluated = counters.get("queries.candidates_evaluated", 0)
+    if evaluated:
+        gauges["queries_selection_rate"] = (
+            counters.get("queries.queries_selected", 0) / evaluated
+        )
+    if portfolios is not None:
+        for portfolio in portfolios:
+            label = f'{{driver="{portfolio.driver_id}"}}'
+            gauges[f"queries_portfolio_size{label}"] = float(
+                len(portfolio.selected)
+            )
+            gauges[f"queries_portfolio_cost{label}"] = float(
+                portfolio.total_cost
+            )
+            gauges[f"queries_portfolio_budget{label}"] = float(
+                portfolio.budget
+            )
+            gauges[f"queries_portfolio_precision{label}"] = (
+                portfolio.precision_at_budget
+            )
 
     if telemetry is not None:
         gauges.update(telemetry_gauges(telemetry))

@@ -1,0 +1,114 @@
+"""Regenerate the golden query-planner snapshot.
+
+Run from the repo root after any *intentional* change to candidate
+generation, evaluation, or portfolio selection:
+
+    PYTHONPATH=src python tests/golden/regen_queries.py
+
+then review the diff of ``tests/golden/queries_plan.json`` in the PR —
+the diff IS the behaviour change.  ``tests/queries/test_golden.py``
+fails when planner output drifts from this file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.drivers import available_driver_ids, get_driver
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import DOC_TYPE_FOR_DRIVER, CorpusConfig
+from repro.corpus.web import build_web
+from repro.queries.recipes import PlannerSettings, plan_portfolios
+
+GOLDEN_PATH = Path(__file__).with_name("queries_plan.json")
+
+#: Everything below is part of the snapshot's identity — change any of
+#: these and the golden file must be regenerated.
+N_DOCS = 240
+SEED = 41
+BUDGET = 120
+TOP_K = 30
+MAX_CANDIDATES = 120
+
+
+def _extended_mix() -> dict[str, float]:
+    """The paper mix plus every extended driver's trigger doc type."""
+    mix = dict(CorpusConfig().mix)
+    for driver_id in available_driver_ids():
+        mix.setdefault(DOC_TYPE_FOR_DRIVER[driver_id], 0.07)
+    return mix
+
+
+def _portfolio_dict(portfolio) -> dict:
+    return {
+        "queries": [
+            [
+                item.evaluation.candidate.query,
+                item.evaluation.candidate.source,
+                item.marginal_cost,
+                round(item.marginal_gain, 4),
+            ]
+            for item in portfolio.selected
+        ],
+        "total_cost": portfolio.total_cost,
+        "coverage": portfolio.coverage,
+        "precision_at_budget": round(portfolio.precision_at_budget, 4),
+    }
+
+
+def snapshot() -> dict:
+    """Plan a portfolio for every available driver at pinned params."""
+    web = build_web(N_DOCS, CorpusConfig(seed=SEED, mix=_extended_mix()))
+    drivers = [get_driver(d) for d in available_driver_ids()]
+    etap = Etap.from_web(
+        web,
+        drivers=drivers,
+        config=EtapConfig(top_k_per_query=TOP_K),
+    )
+    etap.gather()
+    plans = plan_portfolios(
+        etap,
+        PlannerSettings(
+            budget=BUDGET, top_k=TOP_K, max_candidates=MAX_CANDIDATES
+        ),
+    )
+    return {
+        "params": {
+            "n_docs": N_DOCS,
+            "seed": SEED,
+            "budget": BUDGET,
+            "top_k": TOP_K,
+            "max_candidates": MAX_CANDIDATES,
+        },
+        "drivers": {
+            driver_id: {
+                "n_candidates": plan.n_candidates,
+                "planned": _portfolio_dict(plan.planned),
+                "baseline": _portfolio_dict(plan.baseline),
+            }
+            for driver_id, plan in sorted(plans.items())
+        },
+    }
+
+
+def main() -> None:
+    data = snapshot()
+    GOLDEN_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
+    for driver_id, plan in data["drivers"].items():
+        planned, baseline = plan["planned"], plan["baseline"]
+        print(
+            f"  {driver_id:22s} "
+            f"P@B {planned['precision_at_budget']:.3f} "
+            f"(cost {planned['total_cost']}) vs seeds "
+            f"{baseline['precision_at_budget']:.3f} "
+            f"(cost {baseline['total_cost']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -131,6 +131,22 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "hedge": "shard1/r2",
     },
     "degraded_read": {"source": "query_cache"},
+    "query_candidate_evaluated": {
+        "driver_id": "funding_rounds",
+        "query": '"series a funding"',
+        "source": "template",
+        "coverage": 12,
+        "precision": 0.75,
+        "cost": 16,
+    },
+    "portfolio_selected": {
+        "driver_id": "funding_rounds",
+        "budget": 160,
+        "n_candidates": 120,
+        "n_selected": 6,
+        "total_cost": 41,
+        "precision_at_budget": 0.7073,
+    },
     "slo_breach": {
         "slo": "fetch-availability",
         "objective": "availability",

@@ -16,6 +16,7 @@ import inspect
 import pytest
 
 import repro.cli  # noqa: F401 -- force-import the full package tree
+import repro.queries  # noqa: F401 -- cli imports the planner lazily
 from repro.core.alerts import AlertService
 from repro.core.classifier import TriggerEventClassifier
 from repro.core.etap import Etap, EtapConfig
@@ -90,6 +91,11 @@ def recorder_keepers():
         default_slos(), Telemetry(), event_log=e
     )
     yield "HealthMonitor", lambda t, e: HealthMonitor(event_log=e)
+    yield "CandidateGenerator", lambda t, e: _candidate_generator(t)
+    yield "QueryEvaluator", lambda t, e: _query_evaluator(
+        gatherer, t, e
+    )
+    yield "PortfolioPlanner", lambda t, e: _portfolio_planner(t, e)
 
 
 def _training_generator(gatherer, tracer):
@@ -104,6 +110,29 @@ def _training_generator(gatherer, tracer):
         snippet_generator=SnippetGenerator(),
         tracer=tracer,
     )
+
+
+def _candidate_generator(tracer):
+    from repro.queries.generate import CandidateGenerator
+
+    return CandidateGenerator(tracer=tracer)
+
+
+def _query_evaluator(gatherer, tracer, event_log):
+    from repro.queries.evaluate import QueryEvaluator, StoreGroundTruth
+
+    return QueryEvaluator(
+        gatherer.engine,
+        StoreGroundTruth(gatherer.store),
+        tracer=tracer,
+        event_log=event_log,
+    )
+
+
+def _portfolio_planner(tracer, event_log):
+    from repro.queries.planner import PortfolioPlanner
+
+    return PortfolioPlanner(tracer=tracer, event_log=event_log)
 
 
 def _alert_service(etap, event_log):

@@ -1,0 +1,38 @@
+"""Shared fixtures for the query-planner suite.
+
+One small gathered ETAP — extended corpus mix so all five drivers
+(including funding_rounds and layoffs) have trigger documents on the
+web — is built once per session and reused across files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.drivers import available_driver_ids, get_driver
+from repro.core.etap import Etap, EtapConfig
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.web import build_web
+from repro.queries.evaluate import StoreGroundTruth
+
+
+@pytest.fixture(scope="session")
+def queries_etap():
+    """A gathered (not trained) ETAP over the extended five-driver mix."""
+    mix = dict(CorpusConfig().mix)
+    mix["funding_news"] = 0.07
+    mix["layoff_news"] = 0.07
+    web = build_web(240, CorpusConfig(seed=23, mix=mix))
+    drivers = [get_driver(d) for d in available_driver_ids()]
+    etap = Etap.from_web(
+        web,
+        drivers=drivers,
+        config=EtapConfig(top_k_per_query=30, negative_sample_size=400),
+    )
+    etap.gather()
+    return etap
+
+
+@pytest.fixture(scope="session")
+def ground_truth(queries_etap):
+    return StoreGroundTruth(queries_etap.store)

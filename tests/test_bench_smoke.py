@@ -284,6 +284,52 @@ def test_serve_chaos_bench_acceptance(tmp_path):
 
 
 @pytest.mark.bench_smoke
+def test_queries_bench_at_toy_scale(tmp_path):
+    """The planner bench runs end to end at toy scale and its payload
+    is schema-complete (the >= 2-drivers-improved acceptance floor is
+    only enforced on the committed reference artifact — at toy scale
+    the comparison is allowed to go either way)."""
+    import json
+
+    module = _load_bench_module("bench_queries")
+    out = tmp_path / "BENCH_queries.json"
+    payload = module.measure(
+        n_docs=150, seed=7, budget=30, top_k=20, out=out,
+    )
+    assert out.exists()
+    assert json.loads(out.read_text()) == payload
+    schema_errors = [
+        error
+        for error in module.validate_payload(payload)
+        if "must beat the hand-written" not in error
+    ]
+    assert schema_errors == []
+    assert set(payload["drivers"]) >= {"funding_rounds", "layoffs"}
+    for plan in payload["drivers"].values():
+        assert plan["planned"]["total_cost"] <= 30
+
+
+@pytest.mark.bench_smoke
+def test_committed_queries_bench_artifact_validates():
+    """benchmarks/BENCH_queries.json must validate AND meet the PR's
+    acceptance floor: the planned portfolio beats the hand-written
+    queries on precision@budget (or ties at strictly lower cost) for
+    >= 2 drivers, with both extended drivers measured."""
+    import json
+
+    module = _load_bench_module("bench_queries")
+    artifact = BENCHMARKS_DIR / "BENCH_queries.json"
+    payload = json.loads(artifact.read_text())
+    assert module.validate_payload(payload) == []
+    assert payload["n_drivers_improved"] >= 2
+    for driver_id in ("funding_rounds", "layoffs"):
+        assert payload["drivers"][driver_id]["improved"] is True, (
+            f"the committed artifact no longer shows planner lift "
+            f"for {driver_id}"
+        )
+
+
+@pytest.mark.bench_smoke
 @pytest.mark.chaos_serve
 def test_committed_serve_chaos_artifact_validates():
     """benchmarks/BENCH_serve_chaos.json must satisfy the acceptance
