@@ -18,13 +18,24 @@ same fixed-seed workload:
 test enforces the schema and the acceptance floors (>= 3x end-to-end,
 annotation-cache hit rate >= 0.5) against the committed file.
 
+The artifact also carries ``tier_100k``: an ingestion-only run (crawl
+-> dedup -> shard -> tokenize -> vectorize -> index -> merge, no
+train/score) at 100k documents through the process-sharded flat-buffer
+path (``workers > 1``), reporting docs/sec, memory bytes per stored
+document, and the per-sentence memo hit rate.  Its
+``speedup_vs_baseline`` divides by the *baseline's* end-to-end
+docs/sec — the honest "how much faster is ingestion now" number the
+smoke test floors at 10x.
+
 Regenerate after an intentional perf-relevant change::
 
     PYTHONPATH=src python benchmarks/bench_ingest.py \
-        --baseline-from benchmarks/BENCH_ingest.json
+        --baseline-from benchmarks/BENCH_ingest.json --tier-100k
 
-which re-measures ``current`` while carrying the recorded baseline
-forward (wall-clock ratios are only meaningful within one machine).
+which re-measures ``current`` (and the 100k tier) while carrying the
+recorded baseline forward (wall-clock ratios are only meaningful
+within one machine).  Without ``--tier-100k`` an existing tier is
+carried forward from ``--baseline-from`` untouched.
 """
 
 from __future__ import annotations
@@ -46,6 +57,11 @@ N_DOCS = 500
 SEED = 7
 TOP_K_PER_QUERY = 60
 NEGATIVE_SAMPLE_SIZE = 1200
+
+#: The ingestion-scale tier (part of the artifact's identity).
+TIER_N_DOCS = 100_000
+TIER_SEED = 11
+TIER_WORKERS = 4
 
 
 def _engine_cache_stats(etap: Etap) -> dict:
@@ -106,11 +122,67 @@ def run_once(
     }
 
 
+def run_ingest_tier(
+    n_docs: int = TIER_N_DOCS,
+    seed: int = TIER_SEED,
+    workers: int = TIER_WORKERS,
+) -> dict:
+    """Ingestion-only pass through the process-sharded flat path.
+
+    Measures gather alone (crawl, dedup, shard fan-out, per-shard
+    tokenize + vectorize, deterministic merge) — the stage the sharded
+    overhaul targets; train/score scale with snippet counts, not
+    corpus size, and have their own benches.  Corpus synthesis happens
+    before the clock starts.
+    """
+    from repro.obs.tracer import Tracer
+
+    web = build_web(n_docs, CorpusConfig(seed=seed))
+    config = EtapConfig(max_crawl_pages=n_docs * 2)
+    if hasattr(config, "workers"):
+        config.workers = workers
+    tracer = Tracer()
+    etap = Etap.from_web(web, config=config, tracer=tracer)
+
+    t0 = time.perf_counter()
+    report = etap.gather()
+    t1 = time.perf_counter()
+
+    stored = report.documents_stored
+    gather_seconds = t1 - t0
+    memory = (
+        etap.store.memory_bytes()
+        if hasattr(etap.store, "memory_bytes")
+        else 0
+    )
+    counters = tracer.registry.counters
+    hits = counters.get("ingest.cache_hits", 0)
+    misses = counters.get("ingest.cache_misses", 0)
+    lookups = hits + misses
+    return {
+        "n_docs": n_docs,
+        "seed": seed,
+        "workers": workers,
+        "documents_stored": stored,
+        "gather_seconds": round(gather_seconds, 4),
+        "docs_per_sec": round(stored / gather_seconds, 2),
+        "memory_bytes_per_doc": round(memory / stored, 1)
+        if stored
+        else 0.0,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        },
+    }
+
+
 def measure(
     n_docs: int = N_DOCS,
     seed: int = SEED,
     workers: int = 1,
     baseline: dict | None = None,
+    tier: dict | None = None,
     out: str | Path | None = DEFAULT_OUT,
 ) -> dict:
     """Run the workload and assemble the two-run artifact payload.
@@ -132,6 +204,15 @@ def measure(
         "current": current,
         "speedup": round(speedup, 2),
     }
+    if tier is not None:
+        tier = dict(tier)
+        # The honest cross-PR ratio: sharded ingestion throughput over
+        # the recorded pre-optimization *end-to-end* docs/sec.
+        if "speedup_vs_baseline" not in tier:
+            tier["speedup_vs_baseline"] = round(
+                tier["docs_per_sec"] / baseline["docs_per_sec"], 2
+            ) if baseline["docs_per_sec"] else 0.0
+        payload["tier_100k"] = tier
     if out is not None:
         Path(out).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -149,6 +230,14 @@ REQUIRED_RUN_KEYS = frozenset(
     }
 )
 REQUIRED_KEYS = frozenset({"bench", "baseline", "current", "speedup"})
+#: Schema for the optional (but committed) ingestion-scale tier.
+TIER_RUN_KEYS = frozenset(
+    {
+        "n_docs", "seed", "workers", "documents_stored",
+        "gather_seconds", "docs_per_sec", "memory_bytes_per_doc",
+        "speedup_vs_baseline", "cache",
+    }
+)
 
 
 def validate_payload(payload: dict) -> list[str]:
@@ -191,6 +280,38 @@ def validate_payload(payload: dict) -> list[str]:
             errors.append(f"{name} found no trigger events (vacuous run)")
     if not isinstance(payload["speedup"], (int, float)):
         errors.append("speedup must be a number")
+    if "tier_100k" in payload:
+        tier = payload["tier_100k"]
+        if not isinstance(tier, dict):
+            return errors + ["tier_100k must be a run payload"]
+        errors.extend(
+            f"tier_100k: missing key {key!r}"
+            for key in sorted(TIER_RUN_KEYS - set(tier))
+        )
+        if not errors:
+            if tier["workers"] <= 1:
+                errors.append(
+                    "tier_100k.workers must exercise the sharded path"
+                )
+            for key in (
+                "gather_seconds", "docs_per_sec",
+                "memory_bytes_per_doc", "speedup_vs_baseline",
+            ):
+                if not isinstance(tier[key], (int, float)) or (
+                    tier[key] < 0
+                ):
+                    errors.append(f"tier_100k.{key} must be non-negative")
+            if tier["documents_stored"] <= 0:
+                errors.append(
+                    "tier_100k.documents_stored must be positive"
+                )
+            cache = tier["cache"]
+            if not isinstance(cache, dict) or not {
+                "hits", "misses", "hit_rate"
+            } <= set(cache):
+                errors.append(
+                    "tier_100k.cache must carry hits/misses/hit_rate"
+                )
     return errors
 
 
@@ -223,6 +344,17 @@ def main() -> None:
     parser.add_argument("--docs", type=int, default=N_DOCS)
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--tier-100k", action="store_true",
+        help="also re-measure the 100k-document ingestion-only tier "
+             "through the process-sharded path (takes minutes); "
+             "otherwise an existing tier is carried forward from "
+             "--baseline-from",
+    )
+    parser.add_argument("--tier-docs", type=int, default=TIER_N_DOCS)
+    parser.add_argument(
+        "--tier-workers", type=int, default=TIER_WORKERS
+    )
     args = parser.parse_args()
 
     if args.record_baseline:
@@ -237,14 +369,20 @@ def main() -> None:
         return
 
     baseline = None
+    tier = None
     if args.baseline_from:
         recorded = json.loads(
             Path(args.baseline_from).read_text(encoding="utf-8")
         )
         baseline = recorded.get("baseline", recorded)
+        tier = recorded.get("tier_100k")
+    if args.tier_100k:
+        tier = run_ingest_tier(
+            n_docs=args.tier_docs, workers=args.tier_workers
+        )
     payload = measure(
         n_docs=args.docs, seed=args.seed, workers=args.workers,
-        baseline=baseline,
+        baseline=baseline, tier=tier,
     )
     print(json.dumps(payload, indent=2, sort_keys=True))
 

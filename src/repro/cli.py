@@ -1031,8 +1031,9 @@ def build_parser() -> argparse.ArgumentParser:
     gather.add_argument("--seed", type=int, default=7)
     gather.add_argument(
         "--workers", type=int, default=1,
-        help="annotation warm-up threads; output is bit-identical "
-             "for any value (see docs/PERFORMANCE.md)",
+        help="shard-owning ingestion processes (content-hash "
+             "partitioned, deterministic merge); output is "
+             "bit-identical for any value (see docs/PERFORMANCE.md)",
     )
     gather.set_defaults(func=cmd_gather)
 
@@ -1100,8 +1101,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument(
         "--workers", type=int, default=1,
-        help="annotation warm-up threads; the report is bit-identical "
-             "for any value",
+        help="shard-owning ingestion processes; the report is "
+             "bit-identical for any value",
     )
     reproduce.set_defaults(func=cmd_reproduce)
 
@@ -1126,8 +1127,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="index shards (doc-id hash partitioned)")
     serve.add_argument(
         "--workers", type=int, default=1,
-        help="annotation warm-up threads during gathering; served "
-             "results are bit-identical for any value",
+        help="shard-owning ingestion processes during gathering; "
+             "served results are bit-identical for any value",
     )
     serve.add_argument(
         "--replicas", type=int, default=1,

@@ -84,9 +84,15 @@ class EtapConfig:
     )
     #: How many snippets per extraction feed the OOV drift monitor.
     drift_token_sample: int = 500
-    #: Ingestion fan-out width (``--workers`` on the CLI).  Workers
-    #: warm the shared annotation cache concurrently; results are
-    #: bit-identical to ``workers=1``.
+    #: Ingestion fan-out width (``--workers`` on the CLI).  With
+    #: ``workers > 1`` the initial gather partitions documents by
+    #: content hash and each worker *process* owns its shard
+    #: end-to-end (tokenize, vectorize, build its postings slice)
+    #: before a deterministic merge — see :mod:`repro.gather.ingest`.
+    #: ``workers=1`` runs the same shard code inline, warming the
+    #: shared annotation cache for later stages; incremental
+    #: re-gathers warm it with threads instead.  Output is
+    #: bit-identical for every worker count.
     workers: int = 1
 
 

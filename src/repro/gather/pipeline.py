@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.corpus.web import SyntheticWeb
 from repro.gather.dedup import NearDuplicateIndex
+from repro.gather.ingest import AcceptedDoc, ShardedIngester
 from repro.gather.store import DocumentStore, StoredDocument
 from repro.obs.events import NULL_EVENT_LOG, AnyEventLog
 from repro.obs.timeseries import NULL_TELEMETRY, AnyTelemetry
@@ -76,6 +77,7 @@ class DataGatherer:
         text_engine: AnnotationEngine | None = None,
         workers: int = 1,
         telemetry: AnyTelemetry | None = None,
+        mp_start_method: str | None = None,
     ) -> None:
         self.web = web
         self.tracer = tracer or NULL_TRACER
@@ -85,11 +87,23 @@ class DataGatherer:
         #: Shared annotate-once engine; downstream stages (training,
         #: extraction, serve rebuilds) reuse its caches.
         self.text_engine = text_engine
-        #: Ingestion fan-out width.  Workers pre-tokenize page texts
-        #: into the engine's content-keyed cache concurrently; the
-        #: store/index merge then runs serially in crawl order, so the
-        #: result is bit-identical to ``workers=1``.
+        #: Ingestion fan-out width.  With ``workers > 1`` the initial
+        #: gather partitions accepted documents by content hash and
+        #: each worker *process* owns its shard end-to-end — tokenize,
+        #: vectorize, build its postings slice — before a deterministic
+        #: merge (see :mod:`repro.gather.ingest`); output is
+        #: bit-identical to ``workers=1``.  Incremental re-gathers
+        #: (e.g. alert polling) fall back to the serial per-document
+        #: path with threaded cache warming.
         self.workers = max(1, workers)
+        #: Multiprocessing start method for shard workers (``fork``,
+        #: ``spawn``, ``forkserver``; ``None`` = platform default).
+        self.mp_start_method = mp_start_method
+        #: Populated by the initial sharded gather: the corpus
+        #: term-count CSR matrix and its term -> column vocabulary.
+        self.doc_term_matrix = None
+        self.vocabulary: dict[str, int] | None = None
+        self._memory_counted = 0
         self.engine = SearchEngine(
             tracer=self.tracer,
             event_log=self.event_log,
@@ -137,12 +151,14 @@ class DataGatherer:
     def _warm_annotation_cache(self, texts: list[str]) -> None:
         """Pre-tokenize page texts into the shared engine, fanned out.
 
-        This is the parallel half of ingestion: ``workers`` threads
-        each take a chunk of the candidate texts and populate the
-        engine's content-keyed caches.  Cache fills are order
-        independent (same content -> same entry), so the serial merge
-        that follows reads identical values regardless of worker count
-        or interleaving — parallelism changes wall time, never output.
+        This is the *incremental* re-gather path (the initial gather
+        shards across processes instead — see
+        :mod:`repro.gather.ingest`): ``workers`` threads each take a
+        chunk of the candidate texts and populate the engine's
+        content-keyed caches.  Cache fills are order independent (same
+        content -> same entry), so the serial merge that follows reads
+        identical values regardless of worker count or interleaving —
+        parallelism changes wall time, never output.
         """
         if self.text_engine is None or not texts:
             return
@@ -177,21 +193,28 @@ class DataGatherer:
         """
         with self.tracer.span("gather") as gather_span:
             crawl = self._crawler.crawl()
-            self._warm_annotation_cache(
-                [
-                    page.text
-                    for page in crawl.pages
-                    if page.document is not None
-                    and (
-                        self.index_degraded
-                        or page.url not in crawl.degraded_urls
-                    )
-                ]
-            )
+            # The initial gather of a fresh store takes the sharded
+            # flat-buffer path; incremental re-gathers (alert polling
+            # over an already-built index) use the serial per-document
+            # path, whose deltas are small by construction.
+            sharded = len(self.store) == 0
+            if not sharded:
+                self._warm_annotation_cache(
+                    [
+                        page.text
+                        for page in crawl.pages
+                        if page.document is not None
+                        and (
+                            self.index_degraded
+                            or page.url not in crawl.degraded_urls
+                        )
+                    ]
+                )
             stored = 0
             skipped = 0
             near_skipped = 0
             degraded_skipped = 0
+            accepted: list[AcceptedDoc] = []
             with self.tracer.span("gather.store_index") as index_span:
                 for page in crawl.pages:
                     if page.document is None:
@@ -226,11 +249,24 @@ class DataGatherer:
                             "published_day": page.document.published_day,
                         },
                     )
-                    if self.store.add(document):
+                    added, _, fingerprint = self.store.try_add(document)
+                    if added:
                         stored += 1
-                        self.engine.add_document(
-                            document.doc_id, document.text, document.title
-                        )
+                        if sharded:
+                            accepted.append(
+                                AcceptedDoc(
+                                    seq=len(accepted),
+                                    doc_id=document.doc_id,
+                                    title=document.title,
+                                    fingerprint=fingerprint,  # type: ignore[arg-type]
+                                )
+                            )
+                        else:
+                            self.engine.add_document(
+                                document.doc_id,
+                                document.text,
+                                document.title,
+                            )
                         self.event_log.emit(
                             "doc_indexed",
                             lineage_id=document.doc_id,
@@ -251,6 +287,27 @@ class DataGatherer:
                             url=document.url,
                             reason="exact",
                         )
+                if sharded and accepted:
+                    ingester = ShardedIngester(
+                        self.workers,
+                        text_engine=self.text_engine,
+                        tracer=self.tracer,
+                        event_log=self.event_log,
+                        mp_start_method=self.mp_start_method,
+                    )
+                    result = ingester.ingest(self.store, accepted)
+                    self.engine.index.adopt_flat(result.flat)
+                    self.doc_term_matrix = result.matrix
+                    self.vocabulary = result.vocabulary
+                    self.tracer.count(
+                        "engine.documents_indexed", stored
+                    )
+                    self.tracer.count(
+                        "ingest.cache_hits", result.sentence_hits
+                    )
+                    self.tracer.count(
+                        "ingest.cache_misses", result.sentence_misses
+                    )
                 index_span.add_items(stored)
             gather_span.add_items(stored)
             self.tracer.count("gather.documents_stored", stored)
@@ -262,6 +319,14 @@ class DataGatherer:
                 "gather.degraded_skipped", degraded_skipped
             )
             self.tracer.count("ingest.documents_indexed", stored)
+            # Keep the cumulative counter equal to the store's current
+            # resident size so the memory-per-doc gauge stays honest
+            # across repeated gathers.
+            memory = self.store.memory_bytes()
+            self.tracer.count(
+                "ingest.memory_bytes", memory - self._memory_counted
+            )
+            self._memory_counted = memory
             if self.telemetry.enabled:
                 self.telemetry.record("ingest.docs", n=stored)
                 self.telemetry.record("ingest.pages", n=len(crawl.pages))

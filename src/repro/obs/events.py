@@ -75,6 +75,9 @@ EVENT_TYPES: dict[str, frozenset[str]] = {
     "query_served": frozenset({"client_id", "query", "status"}),
     "query_rejected": frozenset({"client_id", "reason"}),
     "snapshot_swapped": frozenset({"generation", "n_docs", "n_shards"}),
+    # Process-sharded ingestion (docs/PERFORMANCE.md): one event per
+    # shard as its flat postings slice lands in the merged index.
+    "shard_merged": frozenset({"shard", "docs", "tokens", "terms"}),
     "subscription_polled": frozenset({"subscription_id", "n_alerts"}),
     # Streaming ingestion (docs/STREAMING.md).  The first four double as
     # the write-ahead-log record types of

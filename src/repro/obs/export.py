@@ -194,6 +194,10 @@ def derive_gauges(
 
     * ``dedup_ratio`` — fraction of crawled article pages dropped by
       exact or near dedup;
+    * ``ingest_memory_bytes_per_doc`` — resident store bytes per
+      stored document, from the ``ingest.memory_bytes`` counter;
+    * ``ingest_shard_docs{shard="..."}`` — documents owned by each
+      ingestion shard worker (see :mod:`repro.gather.ingest`);
     * ``positive_rate{driver="..."}`` — flagged / scored snippets per
       driver, the classifier-drift headline number;
     * ``scheduler_queue_depth`` / ``scheduler_tracked_urls`` — revisit
@@ -224,6 +228,17 @@ def derive_gauges(
     seen = stored + skipped + near
     if seen:
         gauges["dedup_ratio"] = (skipped + near) / seen
+
+    memory = counters.get("ingest.memory_bytes", 0)
+    if stored and memory:
+        gauges["ingest_memory_bytes_per_doc"] = memory / stored
+
+    for name, docs in counters.items():
+        match = re.match(r"ingest\.shard_docs\[(.+)\]$", name)
+        if match:
+            gauges[f'ingest_shard_docs{{shard="{match.group(1)}"}}'] = (
+                float(docs)
+            )
 
     for name, flagged in counters.items():
         match = re.match(r"extract\.flagged\[(.+)\]$", name)

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.text.tokenizer import tokenize_words
 
 
@@ -68,6 +70,120 @@ class Posting:
         return len(self.positions)
 
 
+class FlatPostings:
+    """Immutable flat-buffer postings over a whole corpus.
+
+    The entire token stream lives in four numpy arrays — term ids
+    sorted by ``(term, global doc order)``, the matching doc ordinals
+    and in-doc positions, and per-term segment starts — plus the raw
+    doc-major stream for per-document term lookups.  One stable
+    ``lexsort`` over the merged shard streams replaces the per-token
+    Python dict loop of :meth:`InvertedIndex.add_document`, and the
+    arrays pickle as flat buffers between ingestion processes.
+
+    An :class:`InvertedIndex` adopts a ``FlatPostings`` wholesale
+    (:meth:`InvertedIndex.adopt_flat`) and materializes classic
+    per-term ``{doc_key: Posting}`` dicts lazily on first access, so
+    query-visible behaviour is exactly the classic index's.
+    """
+
+    __slots__ = (
+        "vocab",
+        "term_ids",
+        "doc_keys",
+        "doc_ordinals",
+        "titles",
+        "token_terms",
+        "doc_ptr",
+        "sorted_doc",
+        "sorted_pos",
+        "term_starts",
+        "df",
+    )
+
+    def __init__(
+        self,
+        vocab: list[str],
+        doc_keys: list[str],
+        titles: list[str],
+        token_terms: "np.ndarray",
+        doc_ptr: "np.ndarray",
+    ) -> None:
+        self.vocab = vocab
+        self.term_ids = {term: tid for tid, term in enumerate(vocab)}
+        self.doc_keys = doc_keys
+        self.doc_ordinals = {key: i for i, key in enumerate(doc_keys)}
+        self.titles = titles
+        self.token_terms = token_terms
+        self.doc_ptr = doc_ptr
+        lengths = np.diff(doc_ptr)
+        token_doc = np.repeat(
+            np.arange(len(doc_keys), dtype=np.int32), lengths
+        )
+        token_pos = np.arange(len(token_terms), dtype=np.int64)
+        token_pos -= np.repeat(doc_ptr[:-1], lengths)
+        # Stable sort by term: within a term, tokens keep global stream
+        # order, i.e. ascending doc ordinal then ascending position —
+        # exactly the order the serial per-document loop would have
+        # appended them.  This is the merge-determinism contract.
+        order = np.argsort(token_terms, kind="stable")
+        sorted_terms = token_terms[order]
+        self.sorted_doc = token_doc[order]
+        self.sorted_pos = token_pos[order].astype(np.uint32)
+        self.term_starts = np.searchsorted(
+            sorted_terms, np.arange(len(vocab) + 1)
+        )
+        if len(sorted_terms):
+            change = np.empty(len(sorted_terms), dtype=bool)
+            change[0] = True
+            change[1:] = (sorted_terms[1:] != sorted_terms[:-1]) | (
+                self.sorted_doc[1:] != self.sorted_doc[:-1]
+            )
+            self.df = np.add.reduceat(change, self.term_starts[:-1])
+        else:
+            self.df = np.zeros(len(vocab), dtype=np.int64)
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.doc_keys)
+
+    def doc_length(self, ordinal: int) -> int:
+        return int(self.doc_ptr[ordinal + 1] - self.doc_ptr[ordinal])
+
+    def document_frequency(self, term: str) -> int:
+        tid = self.term_ids.get(term)
+        return int(self.df[tid]) if tid is not None else 0
+
+    def doc_term_ids(self, ordinal: int) -> "np.ndarray":
+        """Distinct term ids of one document (sorted by id)."""
+        return np.unique(
+            self.token_terms[self.doc_ptr[ordinal]:self.doc_ptr[ordinal + 1]]
+        )
+
+    def materialize(self, term: str) -> dict[str, Posting]:
+        """Classic ``{doc_key: Posting}`` postings for one term.
+
+        Documents appear in global ingest order and positions ascend,
+        matching the serial index bit for bit.
+        """
+        tid = self.term_ids.get(term)
+        if tid is None:
+            return {}
+        start, end = self.term_starts[tid], self.term_starts[tid + 1]
+        seg_doc = self.sorted_doc[start:end]
+        seg_pos = self.sorted_pos[start:end]
+        bounds = np.flatnonzero(seg_doc[1:] != seg_doc[:-1]) + 1
+        starts = (0, *bounds.tolist(), len(seg_doc))
+        per_doc: dict[str, Posting] = {}
+        for i in range(len(starts) - 1):
+            lo, hi = starts[i], starts[i + 1]
+            positions = array("I")
+            positions.frombytes(seg_pos[lo:hi].tobytes())
+            doc_key = self.doc_keys[seg_doc[lo]]
+            per_doc[doc_key] = Posting(doc_key, positions)
+        return per_doc
+
+
 class InvertedIndex:
     """Positional inverted index with incremental document addition."""
 
@@ -79,6 +195,10 @@ class InvertedIndex:
         #: dropping a document touches exactly these postings rather
         #: than every term in the vocabulary.
         self._doc_terms: dict[str, tuple[str, ...]] = {}
+        #: Flat-buffer backing adopted from sharded ingestion; terms
+        #: still in ``_flat_pending`` materialize on first access.
+        self._flat: FlatPostings | None = None
+        self._flat_pending: set[str] = set()
 
     # -- construction --------------------------------------------------------
 
@@ -100,11 +220,17 @@ class InvertedIndex:
             terms = [word.lower() for word in tokenize_words(text)]
         self._doc_lengths[doc_key] = len(terms)
         self._titles[doc_key] = title
+        pending = self._flat_pending
         postings = self._postings
         doc_postings: dict[str, Posting] = {}
         for position, term in enumerate(terms):
             posting = doc_postings.get(term)
             if posting is None:
+                if term in pending:
+                    # Flat-backed term: materialize the existing docs
+                    # first so this document appends after them, same
+                    # as it would have in a fully serial build.
+                    self._materialize_term(term)
                 posting = Posting(doc_key)
                 doc_postings[term] = posting
                 postings[term][doc_key] = posting
@@ -144,6 +270,39 @@ class InvertedIndex:
         index.add_documents(documents, terms_of=terms_of)
         return index
 
+    def adopt_flat(self, flat: FlatPostings) -> None:
+        """Back an empty index with flat-buffer postings.
+
+        Document lengths and titles install immediately (in the flat
+        corpus's ingest order); per-term postings dicts materialize
+        lazily on first access via :meth:`postings` — queries touching
+        a handful of terms never pay for the whole vocabulary.
+        """
+        if self._doc_lengths:
+            raise ValueError("adopt_flat requires an empty index")
+        self._flat = flat
+        self._flat_pending = set(flat.vocab)
+        for ordinal, doc_key in enumerate(flat.doc_keys):
+            self._doc_lengths[doc_key] = flat.doc_length(ordinal)
+            self._titles[doc_key] = flat.titles[ordinal]
+
+    def _materialize_term(self, term: str) -> dict[str, Posting]:
+        """Materialize one flat-backed term into ``_postings``."""
+        self._flat_pending.discard(term)
+        per_doc = self._flat.materialize(term)  # type: ignore[union-attr]
+        if per_doc:
+            self._postings[term] = per_doc
+        return per_doc
+
+    def _flat_doc_terms(self, doc_key: str) -> tuple[str, ...]:
+        flat = self._flat
+        ordinal = flat.doc_ordinals.get(doc_key) if flat else None
+        if ordinal is None:
+            return ()
+        return tuple(
+            flat.vocab[tid] for tid in flat.doc_term_ids(ordinal)
+        )
+
     def remove_document(self, doc_key: str) -> None:
         """Drop one document from the index (no-op if absent).
 
@@ -156,7 +315,16 @@ class InvertedIndex:
         del self._doc_lengths[doc_key]
         self._titles.pop(doc_key, None)
         postings = self._postings
-        for term in self._doc_terms.pop(doc_key, ()):
+        doc_terms = self._doc_terms.pop(doc_key, None)
+        if doc_terms is None:
+            # Flat-backed document: materialize every term it appears
+            # in before popping, so a later lazy materialization can
+            # never resurrect the removed document.
+            doc_terms = self._flat_doc_terms(doc_key)
+            for term in doc_terms:
+                if term in self._flat_pending:
+                    self._materialize_term(term)
+        for term in doc_terms:
             per_doc = postings.get(term)
             if per_doc is None:
                 continue
@@ -184,6 +352,10 @@ class InvertedIndex:
         twin._doc_lengths = dict(self._doc_lengths)
         twin._titles = dict(self._titles)
         twin._doc_terms = dict(self._doc_terms)
+        # The flat backing is immutable, so clones share it; each clone
+        # tracks its own not-yet-materialized term set.
+        twin._flat = self._flat
+        twin._flat_pending = set(self._flat_pending)
         return twin
 
     # -- statistics ------------------------------------------------------------
@@ -203,7 +375,10 @@ class InvertedIndex:
         return self.total_terms / self.n_docs
 
     def document_frequency(self, term: str) -> int:
-        return len(self._postings.get(normalize_term(term), {}))
+        term = normalize_term(term)
+        if term in self._flat_pending:
+            return self._flat.document_frequency(term)  # type: ignore[union-attr]
+        return len(self._postings.get(term, {}))
 
     def doc_length(self, doc_key: str) -> int:
         return self._doc_lengths.get(doc_key, 0)
@@ -221,12 +396,23 @@ class InvertedIndex:
 
     def postings(self, term: str) -> dict[str, Posting]:
         """All postings for a term (empty dict if unseen)."""
-        return self._postings.get(normalize_term(term), {})
+        term = normalize_term(term)
+        if term in self._flat_pending:
+            return self._materialize_term(term)
+        return self._postings.get(term, {})
+
+    def _materialize_all(self) -> None:
+        if not self._flat_pending:
+            return
+        for term in self._flat.vocab:  # type: ignore[union-attr]
+            if term in self._flat_pending:
+                self._materialize_term(term)
 
     # -- persistence ----------------------------------------------------------
 
     def save_json(self, path: str | Path) -> None:
         """Write the full index (postings, lengths, titles) to JSON."""
+        self._materialize_all()
         record = {
             "doc_lengths": self._doc_lengths,
             "titles": self._titles,

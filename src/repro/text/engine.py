@@ -34,7 +34,7 @@ from typing import Callable, TypeVar
 from repro.features.abstraction import AbstractionPolicy, abstract_tokens
 from repro.text.annotator import AnnotatedText, Annotator
 from repro.text.ner import NerConfig
-from repro.text.sentences import split_sentence_texts
+from repro.text.sentences import Sentence, split_sentence_texts, split_sentences
 from repro.text.stem import PorterStemmer
 from repro.text.tokenizer import tokenize_words
 
@@ -89,8 +89,14 @@ class AnnotationCache:
     that mode exists for benchmarking the uncached path.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, hashed: bool = True
+    ) -> None:
         self.capacity = capacity
+        # ``hashed=False`` keys entries by the text itself — right for
+        # short, high-repetition texts (individual sentences) where the
+        # SHA-1 would cost more than the dict probe it guards.
+        self._hashed = hashed
         self._entries: "OrderedDict[str, tuple[str, object]]" = (
             OrderedDict()
         )
@@ -113,7 +119,7 @@ class AnnotationCache:
             with self._lock:
                 self.stats.misses += 1
             return compute(text)
-        key = content_key(text)
+        key = content_key(text) if self._hashed else text
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -158,10 +164,12 @@ class AnnotationEngine:
     training, scoring and serving (see :class:`repro.core.etap.Etap`);
     each derived product is cached by content hash:
 
-    ``sentences``    raw document text -> sentence strings
-    ``annotate``     snippet text -> :class:`AnnotatedText`
-    ``index_terms``  document text -> normalized index terms
-    ``features``     (annotated snippet, policy) -> feature tokens
+    ``sentences``       raw document text -> sentence strings
+    ``sentence_spans``  raw document text -> :class:`Sentence` spans
+    ``sentence_terms``  one sentence -> its normalized index terms
+    ``annotate``        snippet text -> :class:`AnnotatedText`
+    ``index_terms``     document text -> normalized index terms
+    ``features``        (annotated snippet, policy) -> feature tokens
 
     The stemmer is shared (and internally memoized), so no two
     classifiers ever re-stem the same word.
@@ -176,6 +184,12 @@ class AnnotationEngine:
         self.stemmer = PorterStemmer()
         self._annotations = AnnotationCache(capacity)
         self._sentences = AnnotationCache(capacity)
+        self._sentence_spans = AnnotationCache(capacity)
+        # Sentence-level term cache, keyed by the sentence string itself.
+        # Templated corpora repeat whole sentences far more often than
+        # whole documents, so this cache is where sharded ingestion wins
+        # its tokenization time back.
+        self._sentence_terms = AnnotationCache(capacity, hashed=False)
         self._terms = AnnotationCache(capacity)
         self._features: dict[object, AnnotationCache] = {}
         self._features_lock = threading.Lock()
@@ -195,9 +209,35 @@ class AnnotationEngine:
             text, split_sentence_texts
         )
 
+    def sentence_spans(self, text: str) -> list[Sentence]:
+        """Sentence spans of a document (cached; do not mutate)."""
+        return self._sentence_spans.get_or_compute(text, split_sentences)
+
+    def sentence_terms(self, sentence: str) -> list[str]:
+        """Normalized index terms of one sentence (cached; do not mutate)."""
+        return self._sentence_terms.get_or_compute(sentence, _index_terms)
+
     def index_terms(self, text: str) -> list[str]:
-        """Normalized (lower-cased) index terms (cached; do not mutate)."""
-        return self._terms.get_or_compute(text, _index_terms)
+        """Normalized (lower-cased) index terms (cached; do not mutate).
+
+        Computed compositionally when possible: split into sentences and
+        concatenate each sentence's (cached) terms.  Sentence-level
+        reuse dwarfs document-level reuse on templated corpora, so a
+        re-index after sharded ingestion runs almost entirely from the
+        sentence-term cache.  When the composability guard fails the
+        whole document is tokenized directly — the result is identical
+        either way (see :func:`terms_compose`).
+        """
+        return self._terms.get_or_compute(text, self._index_terms_of)
+
+    def _index_terms_of(self, text: str) -> list[str]:
+        spans = self.sentence_spans(text)
+        if not terms_compose(text, spans):
+            return _index_terms(text)
+        terms: list[str] = []
+        for span in spans:
+            terms.extend(self.sentence_terms(span.text))
+        return terms
 
     def features(
         self, text: str, annotated: AnnotatedText, policy: AbstractionPolicy
@@ -240,6 +280,8 @@ class AnnotationEngine:
         named = {
             "annotations": self._annotations.stats,
             "sentences": self._sentences.stats,
+            "sentence_spans": self._sentence_spans.stats,
+            "sentence_terms": self._sentence_terms.stats,
             "index_terms": self._terms.stats,
         }
         feature_total = CacheStats()
@@ -252,9 +294,28 @@ class AnnotationEngine:
         return [
             self._annotations,
             self._sentences,
+            self._sentence_spans,
+            self._sentence_terms,
             self._terms,
             *self._features.values(),
         ]
+
+
+def terms_compose(text: str, spans: list[Sentence]) -> bool:
+    """True when per-sentence tokenization composes to the full-text one.
+
+    Tokenizer matches never span whitespace, so concatenating each
+    sentence's token stream equals tokenizing the whole document as long
+    as every sentence (after the first) is preceded by whitespace in the
+    source text.  :func:`~repro.text.sentences.split_sentences` yields
+    stripped spans whose gaps are whitespace by construction, so this
+    guard holds everywhere today — it exists so a future splitter change
+    degrades to the slow path instead of to wrong terms.
+    """
+    return all(
+        span.start == 0 or text[span.start - 1].isspace()
+        for span in spans[1:]
+    )
 
 
 def _index_terms(text: str) -> list[str]:

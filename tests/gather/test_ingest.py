@@ -1,0 +1,232 @@
+"""Sharded-ingestion tests: routing, worker tokenization, merge, events.
+
+The determinism contract under test: for any worker count, the merged
+flat postings are bit-identical to a classic serial
+``InvertedIndex.add_document`` build over the same documents in the
+same order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.gather.store as store_module
+from repro.gather.ingest import (
+    AcceptedDoc,
+    ShardedIngester,
+    shard_of,
+    tokenize_shard,
+)
+from repro.gather.store import DocumentStore, StoredDocument, content_hash
+from repro.obs.events import EventLog
+from repro.obs.tracer import Tracer
+from repro.search.index import InvertedIndex
+from repro.text.engine import AnnotationEngine
+
+TEXTS = [
+    "Acme Corp. acquired Widgets Inc. The deal closed quickly.",
+    "Quarterly revenue rose 12%. Analysts cheered the results.",
+    "Acme Corp. acquired Widgets Inc. Markets reacted calmly.",
+    "The merger was announced on Monday. Quarterly revenue rose 12%.",
+    "A new CEO was appointed. The deal closed quickly.",
+    "Layoffs hit the sector. A new CEO was appointed.",
+    "",
+]
+
+
+def build_store(texts=TEXTS):
+    store = DocumentStore()
+    accepted = []
+    for i, text in enumerate(texts):
+        document = StoredDocument(
+            doc_id=f"d{i}", url=f"http://s/{i}", title=f"t{i}", text=text
+        )
+        added, _, fingerprint = store.try_add(document)
+        if added:
+            accepted.append(
+                AcceptedDoc(
+                    seq=len(accepted),
+                    doc_id=document.doc_id,
+                    title=document.title,
+                    fingerprint=fingerprint,
+                )
+            )
+    return store, accepted
+
+
+def classic_index(store):
+    index = InvertedIndex()
+    for document in store:
+        index.add_document(document.doc_id, document.text, document.title)
+    return index
+
+
+def postings_snapshot(index, vocab):
+    return {
+        term: {
+            doc_key: list(posting.positions)
+            for doc_key, posting in index.postings(term).items()
+        }
+        for term in vocab
+    }
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        fingerprint = content_hash("some document text")
+        for n in (1, 2, 4, 7):
+            shard = shard_of(fingerprint, n)
+            assert 0 <= shard < n
+            assert shard == shard_of(fingerprint, n)
+
+    def test_spreads_across_shards(self):
+        shards = {
+            shard_of(content_hash(f"text {i}"), 4) for i in range(50)
+        }
+        assert shards == {0, 1, 2, 3}
+
+
+class TestTokenizeShard:
+    def test_engine_and_engineless_paths_agree(self):
+        store, accepted = build_store()
+        ordinals = [store.ordinal_of(doc.doc_id) for doc in accepted]
+        buffer, offsets = store.flat_texts(ordinals)
+        bare = tokenize_shard(0, buffer, offsets, engine=None)
+        warmed = tokenize_shard(
+            0, buffer, offsets, engine=AnnotationEngine()
+        )
+        assert bare.vocab == warmed.vocab
+        assert bare.token_terms.tolist() == warmed.token_terms.tolist()
+        assert bare.doc_ptr.tolist() == warmed.doc_ptr.tolist()
+
+    def test_sentence_memo_accounting(self):
+        store, accepted = build_store()
+        ordinals = [store.ordinal_of(doc.doc_id) for doc in accepted]
+        buffer, offsets = store.flat_texts(ordinals)
+        result = tokenize_shard(0, buffer, offsets)
+        # The corpus repeats sentences across documents by design.
+        assert result.sentence_hits > 0
+        assert result.sentence_misses > 0
+        assert result.fallbacks == 0
+
+
+class TestMergeDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_flat_merge_matches_classic_serial_build(self, workers):
+        store, accepted = build_store()
+        result = ShardedIngester(workers).ingest(store, accepted)
+        flat_index = InvertedIndex()
+        flat_index.adopt_flat(result.flat)
+        reference = classic_index(store)
+        assert flat_index.doc_keys() == reference.doc_keys()
+        assert postings_snapshot(
+            flat_index, result.flat.vocab
+        ) == postings_snapshot(reference, result.flat.vocab)
+        for term in result.flat.vocab:
+            assert flat_index.document_frequency(
+                term
+            ) == reference.document_frequency(term)
+        for doc_key in reference.doc_keys():
+            assert flat_index.doc_length(doc_key) == reference.doc_length(
+                doc_key
+            )
+            assert flat_index.title(doc_key) == reference.title(doc_key)
+
+    def test_vocab_identical_across_worker_counts(self):
+        store, accepted = build_store()
+        vocabs = [
+            ShardedIngester(w).ingest(store, accepted).flat.vocab
+            for w in (1, 2, 4)
+        ]
+        assert vocabs[0] == vocabs[1] == vocabs[2]
+
+    def test_matrix_identical_across_worker_counts(self):
+        store, accepted = build_store()
+        matrices = [
+            ShardedIngester(w).ingest(store, accepted).matrix
+            for w in (1, 2, 4)
+        ]
+        for matrix in matrices[1:]:
+            assert (matrix != matrices[0]).nnz == 0
+
+    def test_corpus_smaller_than_worker_count(self):
+        store, accepted = build_store(["Just one document here."])
+        result = ShardedIngester(4).ingest(store, accepted)
+        index = InvertedIndex()
+        index.adopt_flat(result.flat)
+        reference = classic_index(store)
+        assert postings_snapshot(
+            index, result.flat.vocab
+        ) == postings_snapshot(reference, result.flat.vocab)
+
+    def test_spawn_start_method_matches_fork(self):
+        """Workers must never silently depend on fork: the payloads and
+        the worker entry point stay picklable under spawn."""
+        store, accepted = build_store()
+        forked = ShardedIngester(2, mp_start_method="fork").ingest(
+            store, accepted
+        )
+        spawned = ShardedIngester(2, mp_start_method="spawn").ingest(
+            store, accepted
+        )
+        assert forked.flat.vocab == spawned.flat.vocab
+        assert (
+            forked.flat.token_terms.tolist()
+            == spawned.flat.token_terms.tolist()
+        )
+        assert (
+            forked.flat.doc_ptr.tolist() == spawned.flat.doc_ptr.tolist()
+        )
+
+
+class TestObservability:
+    def test_shard_merged_events_and_counters(self):
+        store, accepted = build_store()
+        tracer = Tracer()
+        log = EventLog()
+        ShardedIngester(2, tracer=tracer, event_log=log).ingest(
+            store, accepted
+        )
+        events = log.events("shard_merged")
+        assert len(events) == 2
+        assert sum(e.payload["docs"] for e in events) == len(accepted)
+        counters = tracer.registry.counters
+        assert counters["ingest.shard_docs[0]"] + counters[
+            "ingest.shard_docs[1]"
+        ] == len(accepted)
+        assert counters["ingest.shards_merged"] == 2
+
+
+class TestHashShortCircuit:
+    """`add` must not hash content when the id or url already dedupes."""
+
+    @pytest.fixture
+    def counted_hash(self, monkeypatch):
+        calls = []
+
+        def counting(text):
+            calls.append(text)
+            return content_hash(text)
+
+        monkeypatch.setattr(store_module, "content_hash", counting)
+        return calls
+
+    def test_id_duplicate_skips_hash(self, counted_hash):
+        store = DocumentStore()
+        store.add(StoredDocument("a", "http://x/1", "t", "first text"))
+        assert len(counted_hash) == 1
+        store.add(StoredDocument("a", "http://x/2", "t", "other text"))
+        assert len(counted_hash) == 1  # no hash for the id duplicate
+
+    def test_url_duplicate_skips_hash(self, counted_hash):
+        store = DocumentStore()
+        store.add(StoredDocument("a", "http://x/1", "t", "first text"))
+        store.add(StoredDocument("b", "http://x/1", "t", "other text"))
+        assert len(counted_hash) == 1  # no hash for the url duplicate
+
+    def test_content_duplicate_still_hashes_once(self, counted_hash):
+        store = DocumentStore()
+        store.add(StoredDocument("a", "http://x/1", "t", "same text"))
+        store.add(StoredDocument("b", "http://x/2", "t", "same  TEXT"))
+        assert len(counted_hash) == 2  # one hash per add, both needed
+        assert len(store) == 1

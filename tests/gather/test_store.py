@@ -180,3 +180,79 @@ class TestPersistence:
         )
         loaded = DocumentStore.load_jsonl(path)
         assert len(loaded) == 2
+
+
+class TestFlatBuffer:
+    """The contiguous-arena surface the sharded ingester rides on."""
+
+    def fill(self):
+        store = DocumentStore()
+        texts = ["alpha bravo", "", "charlie delta echo", "foxtrot"]
+        for i, text in enumerate(texts):
+            store.add(doc(doc_id=f"d{i}", url=f"http://a/{i}", text=text))
+        return store, texts
+
+    def test_text_at_and_ordinal_of(self):
+        store, texts = self.fill()
+        for i, text in enumerate(texts):
+            ordinal = store.ordinal_of(f"d{i}")
+            assert store.text_at(ordinal) == text
+
+    def test_flat_texts_roundtrip_any_subset(self):
+        store, texts = self.fill()
+        ordinals = [store.ordinal_of("d2"), store.ordinal_of("d0")]
+        buffer, offsets = store.flat_texts(ordinals)
+        assert len(offsets) == len(ordinals) + 1
+        decoded = [
+            buffer[offsets[i]:offsets[i + 1]].decode("utf-8")
+            for i in range(len(ordinals))
+        ]
+        assert decoded == [texts[2], texts[0]]
+
+    def test_memory_bytes_grows_with_content(self):
+        store = DocumentStore()
+        empty = store.memory_bytes()
+        store.add(doc(text="x" * 10_000))
+        assert store.memory_bytes() >= empty + 10_000
+
+    def test_try_add_returns_fingerprint_only_when_hashed(self):
+        store = DocumentStore()
+        added, ordinal, fingerprint = store.try_add(doc())
+        assert added and ordinal == 0
+        assert fingerprint == content_hash("some text")
+        # id duplicate: rejected before hashing, no fingerprint.
+        added, ordinal, fingerprint = store.try_add(doc(text="other"))
+        assert (added, ordinal, fingerprint) == (False, -1, None)
+
+    def test_metadata_shapes_survive_roundtrip(self, tmp_path):
+        store = DocumentStore()
+        standard = {"doc_type": "ma_news", "published_day": 7}
+        overflow = {"doc_type": "ma_news", "tags": ["a", "b"]}
+        store.add(StoredDocument(
+            doc_id="a", url="http://a", title="t", text="one",
+            metadata=dict(standard),
+        ))
+        store.add(StoredDocument(
+            doc_id="b", url="http://b", title="t", text="two",
+            metadata=dict(overflow),
+        ))
+        assert store.get("a").metadata == standard
+        assert store.get("b").metadata == overflow
+        path = tmp_path / "docs.jsonl"
+        store.save_jsonl(path)
+        loaded = DocumentStore.load_jsonl(path)
+        assert loaded.get("a").metadata == standard
+        assert loaded.get("b").metadata == overflow
+
+    def test_get_returns_canonical_mutable_view(self):
+        """Callers patch metadata in place (the alert-horizon tests
+        do); every access path must observe the same dict."""
+        store = DocumentStore()
+        store.add(StoredDocument(
+            doc_id="a", url="http://a", title="t", text="one",
+            metadata={"published_day": 3},
+        ))
+        store.get("a").metadata.pop("published_day")
+        assert store.get("a").metadata == {}
+        assert store.get_by_url("http://a").metadata == {}
+        assert [d.metadata for d in store] == [{}]

@@ -122,6 +122,7 @@ EXAMPLE_PAYLOADS: dict[str, dict] = {
         "published_day": 88,
         "watermark": 93,
     },
+    "shard_merged": {"shard": 1, "docs": 52, "tokens": 5804, "terms": 1311},
     "replica_down": {"shard": 0, "replica": "shard0/r1"},
     "replica_restored": {"shard": 0, "replica": "shard0/r1", "lag": 2},
     "query_hedged": {

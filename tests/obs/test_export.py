@@ -112,6 +112,30 @@ class TestDeriveGauges:
         assert gauges['positive_rate{driver="mergers"}'] == 0.05
         assert gauges['positive_rate{driver="revenue_growth"}'] == 0.25
 
+    def test_ingest_memory_per_doc_gauge(self):
+        registry = Registry()
+        registry.count("gather.documents_stored", 50)
+        registry.count("ingest.memory_bytes", 125_000)
+        gauges = derive_gauges(registry)
+        assert gauges["ingest_memory_bytes_per_doc"] == pytest.approx(
+            2500.0
+        )
+
+    def test_no_memory_gauge_without_counters(self):
+        registry = Registry()
+        registry.count("gather.documents_stored", 50)
+        assert "ingest_memory_bytes_per_doc" not in derive_gauges(
+            registry
+        )
+
+    def test_per_shard_doc_gauges(self):
+        registry = Registry()
+        registry.count("ingest.shard_docs[0]", 26)
+        registry.count("ingest.shard_docs[1]", 24)
+        gauges = derive_gauges(registry)
+        assert gauges['ingest_shard_docs{shard="0"}'] == 26.0
+        assert gauges['ingest_shard_docs{shard="1"}'] == 24.0
+
     def test_scheduler_gauges(self):
         scheduler = RevisitScheduler()
         scheduler.track("http://x/a")

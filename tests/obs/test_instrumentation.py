@@ -41,8 +41,12 @@ class TestSpanTree:
         tracer, _ = traced_pipeline
         gather = tracer.roots[0]
         child_names = [child.name for child in gather.children]
-        assert child_names == [
-            "gather.crawl", "gather.warm_cache", "gather.store_index",
+        assert child_names == ["gather.crawl", "gather.store_index"]
+        store_index = gather.children[1]
+        # The initial gather runs the process-sharded ingest inside
+        # the store_index span: shard tokenization, then the merge.
+        assert [child.name for child in store_index.children] == [
+            "ingest.shards", "ingest.merge",
         ]
 
     def test_train_children_cover_every_driver(self, traced_pipeline):

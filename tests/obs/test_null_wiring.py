@@ -24,6 +24,7 @@ from repro.core.ranking import CompanyRanker
 from repro.corpus.generator import CorpusConfig
 from repro.corpus.web import build_web
 from repro.gather.dedup import NearDuplicateIndex
+from repro.gather.ingest import ShardedIngester
 from repro.gather.pipeline import DataGatherer
 from repro.obs.events import NULL_EVENT_LOG, EventLog
 from repro.obs.health import HealthMonitor
@@ -77,6 +78,9 @@ def recorder_keepers():
     )
     yield "ResilientFetcher", lambda t, e: ResilientFetcher(
         WEB, tracer=t, event_log=e
+    )
+    yield "ShardedIngester", lambda t, e: ShardedIngester(
+        tracer=t, event_log=e
     )
     yield "AlertService", lambda t, e: _alert_service(etap, e)
     yield "ShardedIndex", lambda t, e: _sharded_index(t, e)

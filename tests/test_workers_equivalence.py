@@ -1,11 +1,12 @@
 """Parallel ingestion must be bit-identical to serial ingestion.
 
-``EtapConfig.workers`` only controls how many threads *warm* the
-annotation caches before the serial store/index merge; it must never
-change what the pipeline produces.  This test re-runs the exact golden
-scenario (``tests/golden/regen.py``) under several worker counts and
-demands byte-identical output against the committed snapshot — the same
-bar the serial pipeline is held to in ``test_golden_pipeline.py``.
+``EtapConfig.workers > 1`` hands each content-hash shard to its own
+worker *process* (tokenize, vectorize, build a postings slice) before
+a deterministic merge; it must never change what the pipeline
+produces.  This test re-runs the exact golden scenario
+(``tests/golden/regen.py``) under several worker counts and demands
+byte-identical output against the committed snapshot — the same bar
+the serial pipeline is held to in ``test_golden_pipeline.py``.
 """
 
 from __future__ import annotations
@@ -26,6 +27,6 @@ def test_worker_count_never_changes_pipeline_output(workers):
     for key in ("per_driver_counts", "top5", "alert_ids"):
         assert current[key] == golden[key], (
             f"workers={workers} drifted from the serial golden "
-            f"snapshot ({key}) — parallel warm-up must be a pure "
-            f"optimization"
+            f"snapshot ({key}) — process-sharded ingestion must be "
+            f"a pure optimization"
         )

@@ -96,12 +96,26 @@ def test_engine_accounting_is_consistent(sequence):
         engine.annotate(text)
         engine.sentences(text)
         engine.index_terms(text)
+    unique = set(sequence)
+    n_sentences = {
+        text: len(engine.sentence_spans(text)) for text in unique
+    }
     stats = engine.stats()
-    assert stats.lookups == 3 * len(sequence)
-    # Three products, each caching by unique text.
-    assert stats.misses == 3 * len(set(sequence))
-    assert stats.hits == stats.lookups - stats.misses
+    # Each call is one top-level lookup; an index_terms *miss* composes
+    # from the sentence products, adding one sentence_spans lookup and
+    # one sentence_terms lookup per sentence of that (unique) text.
+    # The n_sentences reads above add one further (hit) lookup each.
+    nested = sum(1 + n for n in n_sentences.values()) + len(unique)
+    assert stats.lookups == 3 * len(sequence) + nested
+    # Three top-level products miss once per unique text; composition
+    # misses once per unique sentence (and once per unique text for
+    # the span split).
     by_product = engine.stats_by_product()
+    assert by_product["annotations"].misses == len(unique)
+    assert by_product["sentences"].misses == len(unique)
+    assert by_product["index_terms"].misses == len(unique)
+    assert by_product["index_terms"].hits == len(sequence) - len(unique)
+    assert stats.hits == stats.lookups - stats.misses
     assert sum(s.lookups for s in by_product.values()) == stats.lookups
 
 
